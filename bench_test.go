@@ -1,0 +1,115 @@
+package mnp
+
+// The regeneration harness: one benchmark per table and figure of the
+// paper's evaluation, plus the section-5 Deluge comparison and the
+// ablations from DESIGN.md. Each benchmark runs the corresponding
+// experiment spec end to end and reports paper-shaped metrics as
+// custom benchmark outputs. Regenerate everything with
+//
+//	go test -bench=. -benchmem
+//
+// and the per-figure reports with cmd/mnpexp.
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchSpec runs one experiment spec per benchmark iteration.
+func benchSpec(b *testing.B, id string) {
+	b.Helper()
+	spec, ok := findSpec(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := spec.Run(42 + int64(i))
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 && !strings.Contains(out, "\n") {
+			b.Fatalf("%s produced an empty report", id)
+		}
+		b.SetBytes(int64(len(out)))
+	}
+}
+
+func findSpec(id string) (Spec, bool) {
+	for _, s := range Experiments() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// BenchmarkTable1EnergyCosts regenerates Table 1 (per-operation energy
+// costs of Mica motes).
+func BenchmarkTable1EnergyCosts(b *testing.B) { benchSpec(b, "T1") }
+
+// BenchmarkFig5Indoor regenerates Figure 5: the indoor 3x5 testbed at
+// power levels 4 and 3 — parent maps, sender order, completion time.
+func BenchmarkFig5Indoor(b *testing.B) { benchSpec(b, "F5") }
+
+// BenchmarkFig6Outdoor5x5 regenerates Figure 6: the outdoor 5x5 grid
+// at full and reduced power.
+func BenchmarkFig6Outdoor5x5(b *testing.B) { benchSpec(b, "F6") }
+
+// BenchmarkFig7Outdoor2x10 regenerates Figure 7: the outdoor 2x10
+// grid, the paper's long-multihop deployment.
+func BenchmarkFig7Outdoor2x10(b *testing.B) { benchSpec(b, "F7") }
+
+// BenchmarkFig8ActiveRadioTime regenerates Figure 8: per-node active
+// radio time in a 20x20 network disseminating 5 segments.
+func BenchmarkFig8ActiveRadioTime(b *testing.B) { benchSpec(b, "F8") }
+
+// BenchmarkFig9ARTNoInitialIdle regenerates Figure 9: the same
+// distribution with the initial idle-listening period removed.
+func BenchmarkFig9ARTNoInitialIdle(b *testing.B) { benchSpec(b, "F9") }
+
+// BenchmarkFig10ProgramSizeSweep regenerates Figure 10: completion
+// time and active radio time across program sizes of 1..10 segments.
+func BenchmarkFig10ProgramSizeSweep(b *testing.B) { benchSpec(b, "F10") }
+
+// BenchmarkFig11TxRxDistribution regenerates Figure 11: transmission
+// and reception distributions across the 20x20 grid.
+func BenchmarkFig11TxRxDistribution(b *testing.B) { benchSpec(b, "F11") }
+
+// BenchmarkFig12MessageTimeline regenerates Figure 12: advertisements,
+// requests and data messages per one-minute window.
+func BenchmarkFig12MessageTimeline(b *testing.B) { benchSpec(b, "F12") }
+
+// BenchmarkFig13PropagationProgress regenerates Figure 13: the
+// propagation wavefront of a single segment, including the
+// diagonal-vs-edge uniformity check.
+func BenchmarkFig13PropagationProgress(b *testing.B) { benchSpec(b, "F13") }
+
+// BenchmarkDelugeComparison regenerates the section-5 comparison:
+// MNP vs Deluge on the same 20x20 workload.
+func BenchmarkDelugeComparison(b *testing.B) { benchSpec(b, "EDEL") }
+
+// BenchmarkAblationNoSenderSelection measures dissemination with the
+// ReqCtr competition disabled (design ablation A1).
+func BenchmarkAblationNoSenderSelection(b *testing.B) { benchSpec(b, "A1") }
+
+// BenchmarkAblationNoSleep measures dissemination with radio sleeping
+// disabled (design ablation A2).
+func BenchmarkAblationNoSleep(b *testing.B) { benchSpec(b, "A2") }
+
+// BenchmarkAblationQueryUpdate measures the effect of the optional
+// query/update repair phase on a lossy network (design ablation A3).
+func BenchmarkAblationQueryUpdate(b *testing.B) { benchSpec(b, "A3") }
+
+// BenchmarkBatteryAware measures the section-6 battery-aware
+// advertisement-power extension (design ablation A4).
+func BenchmarkBatteryAware(b *testing.B) { benchSpec(b, "A4") }
+
+// BenchmarkIdleDutyCycle measures the paper's S-MAC-style suggestion
+// for eliminating initial idle listening (design extension A5).
+func BenchmarkIdleDutyCycle(b *testing.B) { benchSpec(b, "A5") }
+
+// BenchmarkScaleCentralBase validates the section-6 scaling claim: a
+// 4x larger network with the base station at its center completes in
+// about the same time (design extension A6).
+func BenchmarkScaleCentralBase(b *testing.B) { benchSpec(b, "A6") }

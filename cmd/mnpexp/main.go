@@ -1,0 +1,105 @@
+// Command mnpexp reproduces the paper's tables and figures:
+//
+//	mnpexp -list          # show available experiments
+//	mnpexp T1 F5 EDEL     # run specific experiments
+//	mnpexp all            # run everything (minutes of CPU)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"mnp/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mnpexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mnpexp", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list experiments and exit")
+		seed     = fs.Int64("seed", 42, "simulation seed")
+		parallel = fs.Bool("parallel", false, "run the selected experiments concurrently")
+		csvDir   = fs.String("csv", "", "write the series figures' raw data as CSV files into this directory and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, s := range experiment.AllSpecs() {
+			fmt.Printf("  %-5s %s\n", s.ID, s.Title)
+		}
+		return nil
+	}
+	if *csvDir != "" {
+		paths, err := experiment.WriteCSVs(*csvDir, *seed)
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			fmt.Println("wrote", p)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiments named; try -list or 'all'")
+	}
+	var specs []experiment.Spec
+	if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
+		specs = experiment.AllSpecs()
+	} else {
+		for _, id := range ids {
+			s, ok := experiment.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			specs = append(specs, s)
+		}
+	}
+	if !*parallel {
+		for _, s := range specs {
+			fmt.Printf("=== %s — %s ===\n", s.ID, s.Title)
+			out, err := s.Run(*seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.ID, err)
+			}
+			fmt.Println(out)
+		}
+		return nil
+	}
+	// Parallel: every spec is an independent simulation; run them all
+	// concurrently and print the reports in the original order.
+	type outcome struct {
+		out string
+		err error
+	}
+	results := make([]outcome, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := s.Run(*seed)
+			results[i] = outcome{out: out, err: err}
+		}()
+	}
+	wg.Wait()
+	for i, s := range specs {
+		if results[i].err != nil {
+			return fmt.Errorf("%s: %w", s.ID, results[i].err)
+		}
+		fmt.Printf("=== %s — %s ===\n", s.ID, s.Title)
+		fmt.Println(results[i].out)
+	}
+	return nil
+}

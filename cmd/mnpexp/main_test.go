@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	_ = w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	_ = r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T1", "F5", "F13", "EDEL", "A5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"T1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Errorf("T1 output wrong:\n%s", out)
+	}
+}
+
+func TestRunMultipleByID(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-seed", "5", "t1", "F5"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== T1") || !strings.Contains(out, "=== F5") {
+		t.Errorf("multi-run output wrong:\n%s", out)
+	}
+}
+
+func TestParallelRun(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-parallel", "T1", "F5"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reports stay in selection order even when run concurrently.
+	t1 := strings.Index(out, "=== T1")
+	f5 := strings.Index(out, "=== F5")
+	if t1 < 0 || f5 < 0 || t1 > f5 {
+		t.Fatalf("parallel output misordered:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no experiments accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Command mnpsim runs one simulated dissemination and prints a report:
+//
+//	mnpsim -rows 10 -cols 10 -packets 640 -protocol mnp -report energy
+//
+// Protocols: mnp (default), deluge, moap, xnp. Reports: summary
+// (default), energy, traffic, parents, progress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mnp/internal/experiment"
+	"mnp/internal/packet"
+	"mnp/internal/radio"
+	"mnp/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mnpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mnpsim", flag.ContinueOnError)
+	var (
+		rows     = fs.Int("rows", 10, "grid rows")
+		cols     = fs.Int("cols", 10, "grid columns")
+		spacing  = fs.Float64("spacing", 10, "inter-node spacing in feet")
+		packets  = fs.Int("packets", 640, "program size in 22-byte packets")
+		protocol = fs.String("protocol", "mnp", "protocol: mnp, deluge, moap, xnp")
+		power    = fs.Int("power", radio.PowerSim, "TinyOS transmit power level (1,3,4,20,50,255)")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		limit    = fs.Duration("limit", 6*time.Hour, "simulated time limit")
+		report   = fs.String("report", "summary", "report: summary, energy, traffic, parents, progress")
+		traceID  = fs.Int("trace", -1, "dump the protocol event trace of one node ID (-1 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var proto experiment.ProtocolKind
+	switch strings.ToLower(*protocol) {
+	case "mnp":
+		proto = experiment.ProtocolMNP
+	case "deluge":
+		proto = experiment.ProtocolDeluge
+	case "moap":
+		proto = experiment.ProtocolMOAP
+	case "xnp":
+		proto = experiment.ProtocolXNP
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+
+	setup := experiment.Setup{
+		Name:         "mnpsim",
+		Rows:         *rows,
+		Cols:         *cols,
+		Spacing:      *spacing,
+		ImagePackets: *packets,
+		Protocol:     proto,
+		Power:        *power,
+		Seed:         *seed,
+		Limit:        *limit,
+	}
+	// The trace log needs the kernel clock, which exists only after the
+	// deployment is built; bind it lazily.
+	var (
+		clock func() time.Duration
+		tlog  *trace.Log
+	)
+	if *traceID >= 0 {
+		id := packet.NodeID(*traceID)
+		var err error
+		tlog, err = trace.NewLog(func() time.Duration {
+			if clock == nil {
+				return 0
+			}
+			return clock()
+		}, trace.WithNodeFilter(func(n packet.NodeID) bool { return n == id }))
+		if err != nil {
+			return err
+		}
+		setup.Observer = tlog
+	}
+	res, err := experiment.Build(setup)
+	if err != nil {
+		return err
+	}
+	clock = res.Kernel.Now
+	res.Network.Start()
+	res.Completed = res.Network.RunUntilComplete(setup.Limit)
+	res.CompletionTime = res.Network.CompletionTime()
+
+	ct := res.CompletionTime
+	fmt.Printf("topology: %s (%d nodes), program: %d packets (%.1f KB), protocol: %s, power: %d, seed: %d\n",
+		res.Layout.Name(), res.Layout.N(), res.Image.TotalPackets(),
+		float64(res.Image.Size())/1024, proto, *power, *seed)
+	if res.Completed {
+		fmt.Printf("completed: all %d nodes in %s\n", res.Layout.N(), ct.Round(time.Second))
+	} else {
+		fmt.Printf("INCOMPLETE after %s: %d/%d nodes\n",
+			limit.Round(time.Second), res.Network.CompletedCount(), res.Layout.N())
+	}
+	fmt.Printf("mean active radio time: %s (%s excluding initial idle listening)\n",
+		res.Collector.MeanActiveRadioTime(ct).Round(time.Second),
+		res.Collector.MeanActiveRadioTimeAfterFirstAdv(ct).Round(time.Second))
+	fmt.Printf("concurrent same-neighborhood data senders: %d\n", res.Collector.ConcurrencyViolations())
+
+	switch strings.ToLower(*report) {
+	case "summary":
+	case "energy":
+		printEnergy(res)
+	case "traffic":
+		printTraffic(res)
+	case "parents":
+		printParents(res)
+	case "progress":
+		printProgress(res)
+	default:
+		return fmt.Errorf("unknown report %q", *report)
+	}
+	if tlog != nil {
+		fmt.Printf("\nevent trace of node %d:\n", *traceID)
+		if err := tlog.Dump(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printEnergy(res *experiment.Result) {
+	ct := res.CompletionTime
+	fmt.Println("\nper-node energy (nAh, Table 1 costs):")
+	var total float64
+	for i := 0; i < res.Layout.N(); i++ {
+		id := packet.NodeID(i)
+		l := res.Collector.Ledger(id, ct)
+		total += l.Total()
+		if i < 10 || i == res.Layout.N()-1 {
+			fmt.Printf("  %v: %s\n", id, l)
+		} else if i == 10 {
+			fmt.Println("  ...")
+		}
+	}
+	fmt.Printf("network total: %.0f nAh (mean %.0f nAh/node)\n",
+		total, total/float64(res.Layout.N()))
+}
+
+func printTraffic(res *experiment.Result) {
+	fmt.Println("\nmessages per minute (adv / req / data):")
+	adv := res.Collector.WindowCounts(packet.ClassAdvertisement)
+	req := res.Collector.WindowCounts(packet.ClassRequest)
+	data := res.Collector.WindowCounts(packet.ClassData)
+	for m := 0; m < len(data); m++ {
+		a, r := 0, 0
+		if m < len(adv) {
+			a = adv[m]
+		}
+		if m < len(req) {
+			r = req[m]
+		}
+		fmt.Printf("  minute %3d: %5d / %5d / %5d\n", m, a, r, data[m])
+	}
+}
+
+func printParents(res *experiment.Result) {
+	fmt.Println()
+	for i := 0; i < res.Layout.N(); i++ {
+		id := packet.NodeID(i)
+		parent, ok := res.Collector.Parent(id)
+		switch {
+		case id == 0:
+			fmt.Printf("  %v: base station\n", id)
+		case ok:
+			fmt.Printf("  %v <- %v\n", id, parent)
+		default:
+			fmt.Printf("  %v: no parent recorded\n", id)
+		}
+	}
+	fmt.Print("sender order:")
+	for i, id := range res.Collector.SenderOrder() {
+		fmt.Printf(" %d:%v", i+1, id)
+	}
+	fmt.Println()
+}
+
+func printProgress(res *experiment.Result) {
+	ct := res.CompletionTime
+	fmt.Println("\npropagation progress:")
+	for pct := 10; pct <= 100; pct += 10 {
+		t := ct * time.Duration(pct) / 100
+		fmt.Printf("  %3d%% of time: %5.1f%% of nodes hold the program\n",
+			pct, 100*res.Collector.CompletedFractionAt(t))
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	_ = w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	_ = r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestRunSummary(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-rows", "2", "-cols", "2", "-packets", "16", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"completed: all 4 nodes", "mean active radio time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReports(t *testing.T) {
+	reports := map[string]string{
+		"energy":   "per-node energy",
+		"traffic":  "messages per minute",
+		"parents":  "sender order",
+		"progress": "propagation progress",
+	}
+	for report, want := range reports {
+		out, err := capture(t, func() error {
+			return run([]string{"-rows", "2", "-cols", "2", "-packets", "16", "-report", report})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", report, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("report %s missing %q", report, want)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-rows", "1", "-cols", "2", "-packets", "16", "-trace", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"event trace of node 1", "got full program"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q", want)
+		}
+	}
+}
+
+func TestRunBaselineProtocols(t *testing.T) {
+	for _, proto := range []string{"deluge", "moap", "xnp"} {
+		_, err := capture(t, func() error {
+			return run([]string{"-rows", "1", "-cols", "2", "-packets", "16", "-protocol", proto})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-protocol", "bogus"}); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+	if err := run([]string{"-rows", "0"}); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-rows", "1", "-cols", "2", "-packets", "16", "-report", "bogus"})
+	}); err == nil {
+		t.Error("bogus report accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

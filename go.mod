@@ -1,0 +1,3 @@
+module mnp
+
+go 1.22

@@ -1,0 +1,51 @@
+package core
+
+// The MNP state machine, as implemented (paper Figure 4, both
+// variants, plus the duty-cycled advertise tail):
+//
+//	            Adv(SegID>rvd)/send DL req
+//	          ┌───────────────────────────┐
+//	          │                           │
+//	        ┌─┴──┐  StartDownload(rvd+1)┌─▼────────┐
+//	        │idle├──────────────────────►download  │
+//	        └─▲──┘        set parent    └─┬──┬─────┘
+//	          │                           │  │ EndDownload, missing>thresh
+//	     fail │ (transient: release       │  │ or watchdog timeout
+//	          │  EEPROM, keep data)       │  └──────────► fail ──► idle
+//	          │                           │ EndDownload, no missing
+//	          │                           ▼
+//	        ┌─┴────┐   lose competition ┌─────────┐
+//	        │sleep ◄────────────────────┤advertise│◄──── segment done
+//	        └─┬────┘  (higher ReqCtr,   └─┬──▲────┘
+//	          │ wake   lower segment,     │  │ K advs, no requests:
+//	          │        other transfer)    │  │ dormant sleep, backoff
+//	          │                           │ K advs, ReqCtr>0
+//	          ▼                           ▼
+//	        advertise (resume)          ┌───────┐ finish ForwardVector
+//	                                    │forward├──────────────┐
+//	                                    └───────┘              │
+//	                                     EndDownload + Query   ▼
+//	        update (receiver repair) ◄─────────────────── query (sender)
+//	          │ per-packet RepairRequest/Data with parent   │
+//	          └── none missing ──► segment done             └─ quiet ─► sleep
+//
+// Message roles (paper §3):
+//
+//	Advertise        source competition + program discovery; carries
+//	                 ReqCtr so weaker sources concede
+//	DownloadRequest  broadcast, destined via a field; carries the
+//	                 requester's MissingVector and echoes the source's
+//	                 ReqCtr (the hidden-terminal defence)
+//	StartDownload    the selection winner announces a segment stream
+//	Data             one packet; accepted from any sender of the
+//	                 expected segment; written to EEPROM exactly once
+//	EndDownload      closes the stream; triggers advance or repair
+//	Query/Repair     the optional per-packet repair phase
+//	StartSignal      the operator's reboot command, gossiped
+//
+// Extensions implemented beyond Figure 4, all opt-in through Config or
+// on by default where the paper argues for them: dormancy between
+// fruitless advertising rounds (reduced-frequency advertising realized
+// as radio-off sleep for fully-updated nodes), battery-aware
+// advertisement power (§6), pre-contact idle duty cycling (§4.2), and
+// over-the-air version upgrades via serial-number program ordering.

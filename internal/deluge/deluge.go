@@ -1,0 +1,444 @@
+// Package deluge implements the Deluge baseline (Hui & Culler,
+// SenSys 2004) at the fidelity the paper's comparison needs: a
+// three-phase ADV/REQ/DATA handshake with Trickle-suppressed
+// advertisements, fixed-size pages received strictly in order
+// (pipelining), bit-vector loss tracking — and, crucially, a radio
+// that never sleeps, which is the energy contrast MNP exploits.
+package deluge
+
+import (
+	"fmt"
+	"time"
+
+	"mnp/internal/bitvec"
+	"mnp/internal/image"
+	"mnp/internal/node"
+	"mnp/internal/packet"
+	"mnp/internal/trickle"
+)
+
+// DefaultPagePackets is Deluge's page size: 48 packets per page.
+const DefaultPagePackets = 48
+
+// Timer IDs.
+const (
+	timerTrickleFire node.TimerID = iota + 1
+	timerTrickleEnd
+	timerTxData
+	timerRequest
+	timerRxWatchdog
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// Base marks the seeding node, whose EEPROM is preloaded.
+	Base bool
+	// Image is required at the base.
+	Image *image.Image
+	// PagePackets is the page size; DefaultPagePackets if zero.
+	PagePackets int
+	// Trickle configures the advertisement timer.
+	Trickle trickle.Config
+	// DataInterval paces packet transmission within a page.
+	DataInterval time.Duration
+	// RequestDelayMax bounds the random delay before requesting after
+	// an advertisement (request suppression window).
+	RequestDelayMax time.Duration
+	// RxTimeout bounds the wait for page data before re-requesting.
+	RxTimeout time.Duration
+	// MaxRequests bounds consecutive re-requests for one page before
+	// falling back to maintenance.
+	MaxRequests int
+}
+
+// DefaultConfig returns Deluge's published parameters adapted to the
+// shared Mica-2 timing model.
+func DefaultConfig() Config {
+	return Config{
+		PagePackets:     DefaultPagePackets,
+		Trickle:         trickle.DefaultConfig(),
+		DataInterval:    30 * time.Millisecond,
+		RequestDelayMax: 500 * time.Millisecond,
+		RxTimeout:       2 * time.Second,
+		MaxRequests:     8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.PagePackets == 0 {
+		c.PagePackets = d.PagePackets
+	}
+	if c.Trickle.K == 0 {
+		c.Trickle = d.Trickle
+	}
+	if c.DataInterval == 0 {
+		c.DataInterval = d.DataInterval
+	}
+	if c.RequestDelayMax == 0 {
+		c.RequestDelayMax = d.RequestDelayMax
+	}
+	if c.RxTimeout == 0 {
+		c.RxTimeout = d.RxTimeout
+	}
+	if c.MaxRequests == 0 {
+		c.MaxRequests = d.MaxRequests
+	}
+	return c
+}
+
+type geometry struct {
+	known        bool
+	programID    uint8
+	version      uint8
+	pages        int
+	pageNominal  int
+	totalPackets int
+}
+
+func (g geometry) packetsIn(page int) int {
+	if page < 1 || page > g.pages {
+		return 0
+	}
+	rest := g.totalPackets - (page-1)*g.pageNominal
+	if rest > g.pageNominal {
+		return g.pageNominal
+	}
+	return rest
+}
+
+// Deluge is one node's protocol instance.
+type Deluge struct {
+	cfg Config
+	rt  node.Runtime
+	tr  *trickle.Trickle
+
+	geom      geometry
+	havePages int
+	missing   *bitvec.Vector // page havePages+1
+
+	// Receive side.
+	fetching    bool
+	fetchFrom   packet.NodeID
+	requests    int
+	reqPending  bool
+	reqSuppress bool
+
+	// Transmit side.
+	txPage   int
+	txVector *bitvec.Vector
+}
+
+var _ node.Protocol = (*Deluge)(nil)
+
+// New returns a Deluge instance.
+func New(cfg Config) *Deluge {
+	return &Deluge{cfg: cfg.withDefaults()}
+}
+
+// HavePages returns the number of complete in-order pages held.
+func (d *Deluge) HavePages() int { return d.havePages }
+
+// Init implements node.Protocol.
+func (d *Deluge) Init(rt node.Runtime) {
+	d.rt = rt
+	rt.RadioOn() // Deluge never turns the radio off
+	tr, err := trickle.New(d.cfg.Trickle, trickle.Hooks{
+		Rand:     rt.Rand(),
+		SetFire:  func(dur time.Duration) { rt.SetTimer(timerTrickleFire, dur) },
+		SetEnd:   func(dur time.Duration) { rt.SetTimer(timerTrickleEnd, dur) },
+		Transmit: d.sendAdv,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("deluge: %v", err))
+	}
+	d.tr = tr
+	if d.cfg.Base {
+		if d.cfg.Image == nil {
+			panic("deluge: base station requires an image")
+		}
+		im := d.cfg.Image
+		pageNominal := d.cfg.PagePackets
+		pages := (im.TotalPackets() + pageNominal - 1) / pageNominal
+		d.geom = geometry{
+			known:        true,
+			programID:    im.ProgramID(),
+			version:      1,
+			pages:        pages,
+			pageNominal:  pageNominal,
+			totalPackets: im.TotalPackets(),
+		}
+		for seq := 0; seq < im.TotalPackets(); seq++ {
+			payload, _ := im.FlatPayload(seq)
+			page := seq/pageNominal + 1
+			pkt := seq % pageNominal
+			if err := rt.Store(page, pkt, payload); err != nil {
+				panic(fmt.Sprintf("deluge: preloading base image: %v", err))
+			}
+		}
+		d.havePages = pages
+		rt.Complete()
+	}
+	d.tr.Start()
+}
+
+// OnTimer implements node.Protocol.
+func (d *Deluge) OnTimer(id node.TimerID) {
+	switch id {
+	case timerTrickleFire:
+		d.tr.Fire()
+	case timerTrickleEnd:
+		d.tr.IntervalEnd()
+	case timerTxData:
+		d.txTick()
+	case timerRequest:
+		d.sendRequest()
+	case timerRxWatchdog:
+		d.rxWatchdog()
+	}
+}
+
+// OnPacket implements node.Protocol.
+func (d *Deluge) OnPacket(p packet.Packet, from packet.NodeID) {
+	switch pkt := p.(type) {
+	case *packet.DelugeAdv:
+		d.onAdv(pkt)
+	case *packet.DelugeReq:
+		d.onReq(pkt)
+	case *packet.DelugeData:
+		d.onData(pkt)
+	}
+}
+
+func (d *Deluge) sendAdv() {
+	if !d.geom.known {
+		return
+	}
+	_ = d.rt.Send(&packet.DelugeAdv{
+		Src:          d.rt.ID(),
+		ProgramID:    d.geom.programID,
+		Version:      d.geom.version,
+		NumPages:     uint8(d.geom.pages),
+		HavePages:    uint8(d.havePages),
+		PagePackets:  uint8(d.geom.pageNominal),
+		TotalPackets: uint16(d.geom.totalPackets),
+	})
+}
+
+func (d *Deluge) onAdv(a *packet.DelugeAdv) {
+	if !d.geom.known {
+		if a.NumPages == 0 || a.PagePackets == 0 || a.TotalPackets == 0 {
+			return
+		}
+		d.geom = geometry{
+			known:        true,
+			programID:    a.ProgramID,
+			version:      a.Version,
+			pages:        int(a.NumPages),
+			pageNominal:  int(a.PagePackets),
+			totalPackets: int(a.TotalPackets),
+		}
+	}
+	if a.ProgramID != d.geom.programID {
+		return
+	}
+	switch {
+	case int(a.HavePages) == d.havePages:
+		// Consistent: contributes to suppression.
+		d.tr.Hear()
+	case int(a.HavePages) > d.havePages:
+		// Someone is ahead: inconsistency, and a download opportunity.
+		d.tr.Reset()
+		if !d.fetching && d.txVector == nil {
+			d.scheduleRequest(a.Src)
+		}
+	default:
+		// Someone is behind: inconsistency; our advertisement (soon,
+		// thanks to the reset) will prompt their request.
+		d.tr.Reset()
+	}
+}
+
+func (d *Deluge) scheduleRequest(from packet.NodeID) {
+	d.fetchFrom = from
+	d.requests = 0
+	d.reqPending = true
+	d.reqSuppress = false
+	delay := time.Duration(d.rt.Rand().Int63n(int64(d.cfg.RequestDelayMax)))
+	d.rt.SetTimer(timerRequest, delay)
+}
+
+func (d *Deluge) sendRequest() {
+	if !d.reqPending {
+		return
+	}
+	if d.reqSuppress {
+		// Another node already requested our page from the same
+		// neighborhood; wait for the data instead of duplicating the
+		// request.
+		d.reqSuppress = false
+		d.beginFetch()
+		return
+	}
+	page := d.havePages + 1
+	if page > d.geom.pages {
+		d.reqPending = false
+		return
+	}
+	d.ensureMissing()
+	if d.missing == nil {
+		// The advertised geometry was bogus (zero-size page); drop the
+		// request rather than chase it.
+		d.reqPending = false
+		return
+	}
+	_ = d.rt.Send(&packet.DelugeReq{
+		Src:         d.rt.ID(),
+		DestID:      d.fetchFrom,
+		ProgramID:   d.geom.programID,
+		Page:        uint8(page),
+		PagePackets: uint8(d.missing.Len()),
+		Missing:     d.missing.Clone(),
+	})
+	d.requests++
+	d.beginFetch()
+}
+
+func (d *Deluge) beginFetch() {
+	d.reqPending = false
+	d.fetching = true
+	d.rt.SetTimer(timerRxWatchdog, d.cfg.RxTimeout)
+}
+
+func (d *Deluge) rxWatchdog() {
+	if !d.fetching {
+		return
+	}
+	if d.requests < d.cfg.MaxRequests {
+		d.reqPending = true
+		d.reqSuppress = false
+		d.sendRequest()
+		return
+	}
+	// Give up for now; maintenance advertisements will retrigger.
+	d.fetching = false
+}
+
+func (d *Deluge) ensureMissing() {
+	want := d.geom.packetsIn(d.havePages + 1)
+	if d.missing != nil && d.missing.Len() == want {
+		return
+	}
+	v, err := bitvec.AllSet(want)
+	if err != nil {
+		d.missing = nil
+		return
+	}
+	d.missing = v
+}
+
+func (d *Deluge) onReq(r *packet.DelugeReq) {
+	if !d.geom.known || r.ProgramID != d.geom.programID {
+		return
+	}
+	page := int(r.Page)
+	if r.DestID != d.rt.ID() {
+		// Overheard request: if it covers the page we were about to
+		// request from the same area, suppress our duplicate.
+		if d.reqPending && page == d.havePages+1 {
+			d.reqSuppress = true
+		}
+		return
+	}
+	if page < 1 || page > d.havePages {
+		return // cannot serve a page we do not hold
+	}
+	want := d.geom.packetsIn(page)
+	if d.txVector == nil || d.txPage != page {
+		if d.txVector != nil && d.txPage != page {
+			return // busy serving another page; requester will retry
+		}
+		v, err := bitvec.New(want)
+		if err != nil {
+			return
+		}
+		d.txPage = page
+		d.txVector = v
+		d.rt.SetTimer(timerTxData, d.cfg.DataInterval)
+	}
+	if r.Missing != nil && r.Missing.Len() == d.txVector.Len() {
+		_ = d.txVector.Or(r.Missing)
+	} else {
+		d.txVector.SetAll()
+	}
+	// A request is an inconsistency in Trickle terms.
+	d.tr.Reset()
+}
+
+func (d *Deluge) txTick() {
+	if d.txVector == nil {
+		return
+	}
+	pkt := d.txVector.First()
+	if pkt < 0 {
+		d.txVector = nil
+		d.txPage = 0
+		return
+	}
+	d.txVector.Clear(pkt)
+	payload := d.rt.Load(d.txPage, pkt)
+	if payload != nil {
+		_ = d.rt.Send(&packet.DelugeData{
+			Src:       d.rt.ID(),
+			ProgramID: d.geom.programID,
+			Page:      uint8(d.txPage),
+			PacketID:  uint8(pkt),
+			Payload:   payload,
+		})
+	}
+	d.rt.SetTimer(timerTxData, d.cfg.DataInterval)
+}
+
+func (d *Deluge) onData(pkt *packet.DelugeData) {
+	if !d.geom.known || pkt.ProgramID != d.geom.programID {
+		return
+	}
+	page := int(pkt.Page)
+	if page != d.havePages+1 {
+		return // pages are taken strictly in order
+	}
+	d.ensureMissing()
+	if d.missing == nil {
+		return
+	}
+	id := int(pkt.PacketID)
+	if id >= d.missing.Len() {
+		return
+	}
+	if d.missing.Get(id) {
+		if err := d.rt.Store(page, id, pkt.Payload); err != nil {
+			return
+		}
+		d.missing.Clear(id)
+	}
+	if d.fetching {
+		d.rt.SetTimer(timerRxWatchdog, d.cfg.RxTimeout)
+	}
+	if d.missing.None() {
+		d.completePage()
+	}
+}
+
+func (d *Deluge) completePage() {
+	d.havePages++
+	d.missing = nil
+	d.fetching = false
+	d.requests = 0
+	d.rt.CancelTimer(timerRxWatchdog)
+	d.rt.Event(node.Event{Kind: node.EventGotSegment, Seg: d.havePages})
+	if d.havePages == d.geom.pages {
+		d.rt.Complete()
+	}
+	// New state: reset the maintenance timer so neighbors learn fast.
+	d.tr.Reset()
+}

@@ -1,0 +1,241 @@
+package deluge
+
+import (
+	"testing"
+
+	"mnp/internal/bitvec"
+	"mnp/internal/image"
+	"mnp/internal/node/nodetest"
+	"mnp/internal/packet"
+)
+
+// smallImage: 3 pages of 8 packets (4-byte payloads).
+func smallImage(t *testing.T) *image.Image {
+	t.Helper()
+	im, err := image.Random(1, 3, 17, image.WithSegmentPackets(8), image.WithPayloadSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PagePackets = 8
+	return cfg
+}
+
+func newBaseRig(t *testing.T) (*Deluge, *nodetest.Runtime) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Base = true
+	cfg.Image = smallImage(t)
+	d := New(cfg)
+	rt := nodetest.New(0)
+	rt.Attach(d)
+	return d, rt
+}
+
+func newReceiverRig(t *testing.T) (*Deluge, *nodetest.Runtime) {
+	t.Helper()
+	d := New(smallConfig())
+	rt := nodetest.New(9)
+	rt.Attach(d)
+	return d, rt
+}
+
+func baseAdv(src packet.NodeID, have int) *packet.DelugeAdv {
+	return &packet.DelugeAdv{
+		Src: src, ProgramID: 1, Version: 1,
+		NumPages: 3, HavePages: uint8(have), PagePackets: 8, TotalPackets: 24,
+	}
+}
+
+func lastOfKind(rt *nodetest.Runtime, k packet.Kind) packet.Packet {
+	for i := len(rt.Sent) - 1; i >= 0; i-- {
+		if rt.Sent[i].Kind() == k {
+			return rt.Sent[i]
+		}
+	}
+	return nil
+}
+
+func countKind(rt *nodetest.Runtime, k packet.Kind) int {
+	c := 0
+	for _, p := range rt.Sent {
+		if p.Kind() == k {
+			c++
+		}
+	}
+	return c
+}
+
+func TestBasePreloadsAndAdvertises(t *testing.T) {
+	d, rt := newBaseRig(t)
+	if !rt.Done {
+		t.Fatal("base not complete")
+	}
+	if d.HavePages() != 3 {
+		t.Fatalf("HavePages = %d", d.HavePages())
+	}
+	if !rt.Radio {
+		t.Fatal("radio off")
+	}
+	// The trickle fire timer eventually sends an advertisement.
+	rt.Fire(timerTrickleFire)
+	adv, ok := lastOfKind(rt, packet.KindDelugeAdv).(*packet.DelugeAdv)
+	if !ok {
+		t.Fatal("no advertisement after trickle fire")
+	}
+	if adv.HavePages != 3 || adv.NumPages != 3 || adv.PagePackets != 8 || adv.TotalPackets != 24 {
+		t.Fatalf("bad adv: %+v", adv)
+	}
+}
+
+func TestConsistentAdvSuppressesOwn(t *testing.T) {
+	d, rt := newBaseRig(t)
+	// A same-state advertisement counts toward suppression (k=1).
+	d.OnPacket(baseAdv(5, 3), 5)
+	rt.Fire(timerTrickleFire)
+	if countKind(rt, packet.KindDelugeAdv) != 0 {
+		t.Fatal("advertised despite suppression")
+	}
+	// Next interval, quiet again: transmits.
+	rt.Fire(timerTrickleEnd)
+	rt.Fire(timerTrickleFire)
+	if countKind(rt, packet.KindDelugeAdv) != 1 {
+		t.Fatal("suppression leaked into next interval")
+	}
+}
+
+func TestBehindAdvertiserTriggersRequest(t *testing.T) {
+	d, rt := newReceiverRig(t)
+	d.OnPacket(baseAdv(4, 3), 4)
+	if !rt.TimerPending(timerRequest) {
+		t.Fatal("no request scheduled")
+	}
+	rt.Fire(timerRequest)
+	req, ok := lastOfKind(rt, packet.KindDelugeReq).(*packet.DelugeReq)
+	if !ok {
+		t.Fatal("no request sent")
+	}
+	if req.DestID != 4 || req.Page != 1 || req.PagePackets != 8 {
+		t.Fatalf("bad request: %+v", req)
+	}
+	if req.Missing == nil || req.Missing.Count() != 8 {
+		t.Fatalf("bad missing vector: %v", req.Missing)
+	}
+}
+
+func TestOverheardRequestSuppressesOwn(t *testing.T) {
+	d, rt := newReceiverRig(t)
+	d.OnPacket(baseAdv(4, 3), 4)
+	// Someone else requests page 1 first (destined elsewhere).
+	other := &packet.DelugeReq{Src: 7, DestID: 4, ProgramID: 1, Page: 1, PagePackets: 8}
+	d.OnPacket(other, 7)
+	rt.Fire(timerRequest)
+	if countKind(rt, packet.KindDelugeReq) != 0 {
+		t.Fatal("duplicate request not suppressed")
+	}
+	// But the node still arms its fetch watchdog to collect the data.
+	if !rt.TimerPending(timerRxWatchdog) {
+		t.Fatal("suppressed requester not fetching")
+	}
+}
+
+func TestServeRequestedPacketsOnly(t *testing.T) {
+	d, rt := newBaseRig(t)
+	miss := bitvec.MustNew(8)
+	miss.Set(2)
+	miss.Set(5)
+	d.OnPacket(&packet.DelugeReq{Src: 9, DestID: 0, ProgramID: 1, Page: 2, PagePackets: 8, Missing: miss}, 9)
+	for i := 0; i < 10 && rt.TimerPending(timerTxData); i++ {
+		rt.Fire(timerTxData)
+	}
+	var ids []int
+	for _, p := range rt.Sent {
+		if dd, ok := p.(*packet.DelugeData); ok {
+			if dd.Page != 2 {
+				t.Fatalf("served page %d", dd.Page)
+			}
+			ids = append(ids, int(dd.PacketID))
+		}
+	}
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 5 {
+		t.Fatalf("served packets %v, want [2 5]", ids)
+	}
+}
+
+func TestCannotServePageNotHeld(t *testing.T) {
+	d, rt := newReceiverRig(t)
+	d.OnPacket(baseAdv(4, 3), 4) // learn geometry, havePages still 0
+	d.OnPacket(&packet.DelugeReq{Src: 7, DestID: 9, ProgramID: 1, Page: 1, PagePackets: 8}, 7)
+	if rt.TimerPending(timerTxData) {
+		t.Fatal("serving a page we do not hold")
+	}
+}
+
+func TestPagesInOrderAndCompletion(t *testing.T) {
+	d, rt := newReceiverRig(t)
+	img := smallImage(t)
+	d.OnPacket(baseAdv(4, 3), 4)
+	// Data for page 2 before page 1 is ignored.
+	p20, _ := img.Payload(2, 0)
+	d.OnPacket(&packet.DelugeData{Src: 4, ProgramID: 1, Page: 2, PacketID: 0, Payload: p20}, 4)
+	if d.HavePages() != 0 || rt.EEPROM.Slots() != 0 {
+		t.Fatal("out-of-order page accepted")
+	}
+	// Feed pages in order.
+	for page := 1; page <= 3; page++ {
+		for pkt := 0; pkt < 8; pkt++ {
+			payload, _ := img.Payload(page, pkt)
+			d.OnPacket(&packet.DelugeData{Src: 4, ProgramID: 1, Page: uint8(page), PacketID: uint8(pkt), Payload: payload}, 4)
+		}
+		if d.HavePages() != page {
+			t.Fatalf("HavePages = %d after page %d", d.HavePages(), page)
+		}
+	}
+	if !rt.Done {
+		t.Fatal("not complete after all pages")
+	}
+	if rt.EEPROM.MaxWriteCount() != 1 {
+		t.Fatal("write-once violated")
+	}
+}
+
+func TestRxWatchdogRetriesThenGivesUp(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxRequests = 2
+	d := New(cfg)
+	rt := nodetest.New(9)
+	rt.Attach(d)
+	d.OnPacket(baseAdv(4, 3), 4)
+	rt.Fire(timerRequest) // request #1
+	rt.Fire(timerRxWatchdog)
+	if got := countKind(rt, packet.KindDelugeReq); got != 2 {
+		t.Fatalf("requests after first watchdog = %d, want 2", got)
+	}
+	rt.Fire(timerRxWatchdog)
+	// MaxRequests reached: the node abandons the fetch.
+	rt.Fire(timerRxWatchdog)
+	if got := countKind(rt, packet.KindDelugeReq); got != 2 {
+		t.Fatalf("requests after giving up = %d, want 2", got)
+	}
+}
+
+func TestForeignProgramIgnored(t *testing.T) {
+	d, rt := newReceiverRig(t)
+	d.OnPacket(baseAdv(4, 3), 4) // learn program 1
+	foreign := baseAdv(5, 3)
+	foreign.ProgramID = 2
+	d.OnPacket(foreign, 5)
+	if rt.TimerPending(timerRequest) {
+		// The first adv scheduled a request; clear and check the
+		// foreign one did not rearm toward node 5.
+		rt.Fire(timerRequest)
+		req := lastOfKind(rt, packet.KindDelugeReq).(*packet.DelugeReq)
+		if req.DestID == 5 {
+			t.Fatal("requested a foreign program")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package eeprom models the mote's external flash, where incoming code
+// packets are buffered before reboot. Mica-2/XSM motes carry 512 KB.
+//
+// The store tracks write counts per packet slot so tests can assert the
+// paper's invariant: "we guarantee that each packet in a segment is
+// written to EEPROM only once."
+package eeprom
+
+import (
+	"fmt"
+)
+
+// DefaultCapacity is the Mica-2/XSM external flash size in bytes.
+const DefaultCapacity = 512 * 1024
+
+type slotKey struct {
+	seg int
+	pkt int
+}
+
+// Store is a per-node packet store keyed by (segment, packet). It is
+// not safe for concurrent use; in the DES a node owns its store, and in
+// the live runtime each node goroutine owns its own.
+type Store struct {
+	capacity int
+	used     int
+	slots    map[slotKey][]byte
+	writes   map[slotKey]int
+	reads    int
+}
+
+// New returns a store with the given capacity in bytes.
+func New(capacity int) (*Store, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("eeprom: capacity %d must be positive", capacity)
+	}
+	return &Store{
+		capacity: capacity,
+		slots:    make(map[slotKey][]byte),
+		writes:   make(map[slotKey]int),
+	}, nil
+}
+
+// Write stores the payload for packet pkt of segment seg (copying it).
+// Rewriting an occupied slot is permitted — the protocol is supposed to
+// avoid it, and WriteCount exposes violations.
+func (s *Store) Write(seg, pkt int, payload []byte) error {
+	if seg < 1 || pkt < 0 {
+		return fmt.Errorf("eeprom: invalid slot (%d,%d)", seg, pkt)
+	}
+	key := slotKey{seg: seg, pkt: pkt}
+	prev := len(s.slots[key])
+	if s.used-prev+len(payload) > s.capacity {
+		return fmt.Errorf("eeprom: capacity exceeded (%d + %d > %d)", s.used-prev, len(payload), s.capacity)
+	}
+	s.used += len(payload) - prev
+	s.slots[key] = append([]byte(nil), payload...)
+	s.writes[key]++
+	return nil
+}
+
+// Read returns a copy of the payload stored for (seg, pkt), or nil if
+// the slot is empty.
+func (s *Store) Read(seg, pkt int) []byte {
+	p, ok := s.slots[slotKey{seg: seg, pkt: pkt}]
+	if !ok {
+		return nil
+	}
+	s.reads++
+	return append([]byte(nil), p...)
+}
+
+// Has reports whether the slot holds data, without counting as a read.
+func (s *Store) Has(seg, pkt int) bool {
+	_, ok := s.slots[slotKey{seg: seg, pkt: pkt}]
+	return ok
+}
+
+// WriteCount returns the number of times (seg, pkt) has been written.
+func (s *Store) WriteCount(seg, pkt int) int {
+	return s.writes[slotKey{seg: seg, pkt: pkt}]
+}
+
+// MaxWriteCount returns the largest write count over all slots; 1 means
+// the write-once invariant held.
+func (s *Store) MaxWriteCount() int {
+	maxC := 0
+	for _, c := range s.writes {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return maxC
+}
+
+// Used returns the number of bytes stored.
+func (s *Store) Used() int { return s.used }
+
+// Slots returns the number of occupied slots.
+func (s *Store) Slots() int { return len(s.slots) }
+
+// Erase drops all contents and counters, as the fail state does when a
+// node "releases EEPROM resource".
+func (s *Store) Erase() {
+	s.slots = make(map[slotKey][]byte)
+	s.writes = make(map[slotKey]int)
+	s.used = 0
+}
+
+// EraseSegment drops the contents of one segment only.
+func (s *Store) EraseSegment(seg int) {
+	for k := range s.slots {
+		if k.seg == seg {
+			s.used -= len(s.slots[k])
+			delete(s.slots, k)
+			delete(s.writes, k)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package eeprom
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%d) accepted", c)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s, err := New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{1, 2, 3, 4}
+	if err := s.Write(1, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(1, 0) {
+		t.Fatal("Has = false after write")
+	}
+	got := s.Read(1, 0)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Read = %v, want %v", got, payload)
+	}
+	if s.Read(1, 1) != nil {
+		t.Fatal("empty slot returned data")
+	}
+	if s.Has(2, 0) {
+		t.Fatal("Has = true for empty slot")
+	}
+	if s.Used() != 4 || s.Slots() != 1 {
+		t.Fatalf("Used=%d Slots=%d", s.Used(), s.Slots())
+	}
+}
+
+func TestWriteCopiesPayload(t *testing.T) {
+	s, _ := New(1024)
+	payload := []byte{9, 9}
+	if err := s.Write(1, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 0
+	if s.Read(1, 0)[0] != 9 {
+		t.Fatal("Write aliased caller's buffer")
+	}
+	out := s.Read(1, 0)
+	out[0] = 0
+	if s.Read(1, 0)[0] != 9 {
+		t.Fatal("Read aliased internal buffer")
+	}
+}
+
+func TestWriteCountTracksRewrites(t *testing.T) {
+	s, _ := New(1024)
+	if s.WriteCount(1, 0) != 0 {
+		t.Fatal("fresh slot has writes")
+	}
+	_ = s.Write(1, 0, []byte{1})
+	_ = s.Write(1, 1, []byte{2})
+	_ = s.Write(1, 0, []byte{3})
+	if got := s.WriteCount(1, 0); got != 2 {
+		t.Fatalf("WriteCount(1,0) = %d, want 2", got)
+	}
+	if got := s.MaxWriteCount(); got != 2 {
+		t.Fatalf("MaxWriteCount = %d, want 2", got)
+	}
+	// Rewrite replaces, not accumulates, storage.
+	if s.Used() != 2 {
+		t.Fatalf("Used = %d, want 2", s.Used())
+	}
+	if got := s.Read(1, 0); !bytes.Equal(got, []byte{3}) {
+		t.Fatalf("rewrite not visible: %v", got)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	s, _ := New(10)
+	if err := s.Write(1, 0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(1, 1, make([]byte, 4)); err == nil {
+		t.Fatal("over-capacity write accepted")
+	}
+	// Rewriting the existing slot with same size is fine.
+	if err := s.Write(1, 0, make([]byte, 10)); err != nil {
+		t.Fatalf("rewrite within capacity rejected: %v", err)
+	}
+}
+
+func TestInvalidSlots(t *testing.T) {
+	s, _ := New(10)
+	if err := s.Write(0, 0, []byte{1}); err == nil {
+		t.Fatal("segment 0 accepted")
+	}
+	if err := s.Write(1, -1, []byte{1}); err == nil {
+		t.Fatal("negative packet accepted")
+	}
+}
+
+func TestErase(t *testing.T) {
+	s, _ := New(1024)
+	_ = s.Write(1, 0, []byte{1})
+	_ = s.Write(2, 0, []byte{2, 2})
+	s.EraseSegment(1)
+	if s.Has(1, 0) {
+		t.Fatal("segment 1 survived EraseSegment")
+	}
+	if !s.Has(2, 0) {
+		t.Fatal("segment 2 erased by EraseSegment(1)")
+	}
+	if s.Used() != 2 {
+		t.Fatalf("Used = %d after partial erase", s.Used())
+	}
+	s.Erase()
+	if s.Used() != 0 || s.Slots() != 0 || s.MaxWriteCount() != 0 {
+		t.Fatal("Erase left state behind")
+	}
+}

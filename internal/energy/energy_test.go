@@ -1,0 +1,91 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTable1Values(t *testing.T) {
+	// The exact Table 1 constants are part of the reproduction
+	// contract; T1 in EXPERIMENTS.md prints them.
+	if !almost(Table1.TransmitPacket, 20.0) {
+		t.Errorf("TransmitPacket = %v", Table1.TransmitPacket)
+	}
+	if !almost(Table1.ReceivePacket, 8.0) {
+		t.Errorf("ReceivePacket = %v", Table1.ReceivePacket)
+	}
+	if !almost(Table1.IdleListenMs, 1.250) {
+		t.Errorf("IdleListenMs = %v", Table1.IdleListenMs)
+	}
+	if !almost(Table1.EEPROMRead16B, 1.111) {
+		t.Errorf("EEPROMRead16B = %v", Table1.EEPROMRead16B)
+	}
+	if !almost(Table1.EEPROMWrite16B, 83.333) {
+		t.Errorf("EEPROMWrite16B = %v", Table1.EEPROMWrite16B)
+	}
+}
+
+func TestIdleListeningDominates(t *testing.T) {
+	// The paper's premise: a second of idle listening (1250 nAh) costs
+	// more than transmitting 60 packets. If the cost table ever loses
+	// this property the protocol's motivation breaks.
+	idlePerSecond := Table1.IdleListenMs * 1000
+	if idlePerSecond <= 60*Table1.TransmitPacket {
+		t.Fatalf("idle/s = %v should exceed 60 tx = %v", idlePerSecond, 60*Table1.TransmitPacket)
+	}
+}
+
+func TestLedgerArithmetic(t *testing.T) {
+	l := NewLedger(Table1)
+	l.AddTx(10)
+	l.AddRx(100)
+	l.AddIdle(2 * time.Second)
+	l.AddEEPROMWrite(22) // 2 units
+	l.AddEEPROMRead(16)  // 1 unit
+
+	wantRadio := 10*20.0 + 100*8.0 + 2000*1.25
+	if !almost(l.RadioCharge(), wantRadio) {
+		t.Errorf("RadioCharge = %v, want %v", l.RadioCharge(), wantRadio)
+	}
+	wantStorage := 2*83.333 + 1*1.111
+	if !almost(l.StorageCharge(), wantStorage) {
+		t.Errorf("StorageCharge = %v, want %v", l.StorageCharge(), wantStorage)
+	}
+	if !almost(l.Total(), wantRadio+wantStorage) {
+		t.Errorf("Total = %v", l.Total())
+	}
+	if l.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestUnits16Rounding(t *testing.T) {
+	tests := []struct{ bytes, units int }{
+		{0, 0}, {-5, 0}, {1, 1}, {16, 1}, {17, 2}, {22, 2}, {32, 2}, {33, 3},
+	}
+	for _, tt := range tests {
+		l := NewLedger(Table1)
+		l.AddEEPROMWrite(tt.bytes)
+		if l.EEPROMWrites != tt.units {
+			t.Errorf("AddEEPROMWrite(%d) units = %d, want %d", tt.bytes, l.EEPROMWrites, tt.units)
+		}
+	}
+}
+
+func TestNegativeIdleIgnored(t *testing.T) {
+	l := NewLedger(Table1)
+	l.AddIdle(-time.Second)
+	if l.IdleListening != 0 {
+		t.Fatalf("negative idle recorded: %v", l.IdleListening)
+	}
+}
+
+func TestZeroLedger(t *testing.T) {
+	l := NewLedger(Table1)
+	if l.Total() != 0 {
+		t.Fatalf("fresh ledger total = %v", l.Total())
+	}
+}

@@ -1,0 +1,278 @@
+// Package experiment assembles full simulated deployments — topology,
+// channel, protocol fleet, metrics — and reproduces the paper's
+// evaluation artifacts: each table and figure has a Spec that runs the
+// corresponding workload and renders the same rows or series the paper
+// reports.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"mnp/internal/core"
+	"mnp/internal/deluge"
+	"mnp/internal/image"
+	"mnp/internal/metrics"
+	"mnp/internal/moap"
+	"mnp/internal/node"
+	"mnp/internal/packet"
+	"mnp/internal/radio"
+	"mnp/internal/sim"
+	"mnp/internal/topology"
+	"mnp/internal/xnp"
+)
+
+// ProtocolKind selects the dissemination protocol under test.
+type ProtocolKind int
+
+// Protocols available to experiments.
+const (
+	ProtocolMNP ProtocolKind = iota + 1
+	ProtocolDeluge
+	ProtocolMOAP
+	ProtocolXNP
+)
+
+// String returns the protocol name.
+func (p ProtocolKind) String() string {
+	switch p {
+	case ProtocolMNP:
+		return "MNP"
+	case ProtocolDeluge:
+		return "Deluge"
+	case ProtocolMOAP:
+		return "MOAP"
+	case ProtocolXNP:
+		return "XNP"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Setup describes one simulated deployment.
+type Setup struct {
+	// Name labels reports.
+	Name string
+	// Rows and Cols define the grid; Spacing is in feet.
+	Rows, Cols int
+	Spacing    float64
+	// Layout, when non-nil, overrides the grid entirely (e.g. a random
+	// placement from topology.ConnectedRandom).
+	Layout *topology.Layout
+	// ImagePackets is the program size in 22-byte packets (e.g. 100
+	// for the testbed experiments, 640 for 5 segments). The image is
+	// segmented into 128-packet segments.
+	ImagePackets int
+	// ImageData, when non-nil, disseminates exactly these bytes
+	// instead of a random image of ImagePackets packets (e.g. an
+	// imgdiff patch).
+	ImageData []byte
+	// Protocol selects the dissemination protocol (default MNP).
+	Protocol ProtocolKind
+	// BaseID places the base station (default node 0, a grid corner).
+	// The paper's scaling argument puts it at the center of a 4x
+	// larger network.
+	BaseID packet.NodeID
+	// Power is the TinyOS transmit power level (default PowerSim).
+	Power int
+	// Seed drives every random choice in the run.
+	Seed int64
+	// Radio overrides the channel model when non-nil.
+	Radio *radio.Params
+	// MNP tweaks the core protocol configuration (MNP runs only).
+	MNP func(id packet.NodeID, c *core.Config)
+	// Battery assigns initial battery fractions (default 1.0).
+	Battery func(id packet.NodeID) float64
+	// Limit bounds the simulated time (default 12 h).
+	Limit time.Duration
+	// Observer, when non-nil, receives node observations alongside the
+	// metrics collector (e.g. a trace.Log).
+	Observer node.Observer
+}
+
+func (s Setup) withDefaults() Setup {
+	if s.Spacing == 0 {
+		s.Spacing = 10
+	}
+	if s.ImagePackets == 0 {
+		s.ImagePackets = image.DefaultSegmentPackets
+	}
+	if s.Protocol == 0 {
+		s.Protocol = ProtocolMNP
+	}
+	if s.Power == 0 {
+		s.Power = radio.PowerSim
+	}
+	if s.Limit == 0 {
+		s.Limit = 12 * time.Hour
+	}
+	return s
+}
+
+// Result is a completed run plus everything needed to render reports.
+type Result struct {
+	Setup     Setup
+	Layout    *topology.Layout
+	Medium    *radio.Medium
+	Network   *node.Network
+	Collector *metrics.Collector
+	Image     *image.Image
+	Kernel    *sim.Kernel
+
+	// Completed reports whether every node finished within Limit.
+	Completed bool
+	// CompletionTime is the instant the last node completed.
+	CompletionTime time.Duration
+}
+
+// Run executes the deployment until full coverage or the time limit.
+func Run(s Setup) (*Result, error) {
+	res, err := Build(s)
+	if err != nil {
+		return nil, err
+	}
+	res.Network.Start()
+	res.Completed = res.Network.RunUntilComplete(res.Setup.Limit)
+	res.CompletionTime = res.Network.CompletionTime()
+	return res, nil
+}
+
+// Build constructs the deployment without starting the protocols, so
+// callers can schedule fault injection or custom instrumentation first;
+// follow with res.Network.Start() and drive res.Kernel directly.
+func Build(s Setup) (*Result, error) {
+	s = s.withDefaults()
+	raw := s.ImageData
+	if raw == nil {
+		raw = make([]byte, s.ImagePackets*image.DefaultPayloadSize)
+		fill := sim.New(s.Seed + 77)
+		fill.Rand().Read(raw)
+	}
+	img, err := image.New(1, raw)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	layout := s.Layout
+	if layout == nil {
+		var err error
+		layout, err = topology.Grid(s.Rows, s.Cols, s.Spacing)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+		}
+	}
+	kernel := sim.New(s.Seed)
+	rp := radio.DefaultParams()
+	if s.Radio != nil {
+		rp = *s.Radio
+	}
+	medium, err := radio.NewMedium(kernel, layout, rp, s.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	rangeFt, err := medium.RangeFor(s.Power)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	collector, err := metrics.NewCollector(metrics.Config{
+		Layout:            layout,
+		Airtime:           medium.Airtime,
+		NeighborhoodRange: rangeFt,
+	}, kernel.Now)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	medium.SetSink(collector)
+
+	if int(s.BaseID) >= layout.N() {
+		return nil, fmt.Errorf("experiment %s: base %v outside the %d-node layout", s.Name, s.BaseID, layout.N())
+	}
+	factory := func(id packet.NodeID) (node.Protocol, node.Config) {
+		ncfg := node.Config{TxPower: s.Power}
+		if s.Battery != nil {
+			ncfg.Battery = s.Battery(id)
+		}
+		base := id == s.BaseID
+		switch s.Protocol {
+		case ProtocolDeluge:
+			cfg := deluge.DefaultConfig()
+			if base {
+				cfg.Base = true
+				cfg.Image = img
+			}
+			return deluge.New(cfg), ncfg
+		case ProtocolMOAP:
+			cfg := moap.DefaultConfig()
+			if base {
+				cfg.Base = true
+				cfg.Image = img
+			}
+			return moap.New(cfg), ncfg
+		case ProtocolXNP:
+			cfg := xnp.DefaultConfig()
+			if base {
+				cfg.Base = true
+				cfg.Image = img
+			}
+			return xnp.New(cfg), ncfg
+		default:
+			cfg := core.DefaultConfig()
+			if base {
+				cfg.Base = true
+				cfg.Image = img
+			}
+			if s.MNP != nil {
+				s.MNP(id, &cfg)
+			}
+			return core.New(cfg), ncfg
+		}
+	}
+	var obs node.Observer = collector
+	if s.Observer != nil {
+		obs = node.MultiObserver{collector, s.Observer}
+	}
+	nw, err := node.NewNetwork(kernel, medium, layout, factory, obs)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	return &Result{
+		Setup:     s,
+		Layout:    layout,
+		Medium:    medium,
+		Network:   nw,
+		Collector: collector,
+		Image:     img,
+		Kernel:    kernel,
+	}, nil
+}
+
+// VerifyImages checks the reliability requirement on every node and
+// returns an error naming the first violation. Only MNP-geometry
+// protocols (MNP, XNP, MOAP, which all use 128-packet segment slots)
+// are verified packet-by-packet; Deluge uses page-numbered slots and
+// is verified by completion plus write-once.
+func (r *Result) VerifyImages() error {
+	for _, n := range r.Network.Nodes {
+		if n.Dead() {
+			continue
+		}
+		if !n.Completed() {
+			return fmt.Errorf("node %v incomplete", n.ID())
+		}
+		if w := n.EEPROM().MaxWriteCount(); w > 1 {
+			return fmt.Errorf("node %v rewrote EEPROM (max %d writes)", n.ID(), w)
+		}
+		if r.Setup.Protocol == ProtocolDeluge {
+			continue
+		}
+		data, err := r.Image.Reassemble(func(seg, pkt int) []byte {
+			return n.EEPROM().Read(seg, pkt)
+		})
+		if err != nil {
+			return fmt.Errorf("node %v: %w", n.ID(), err)
+		}
+		if !r.Image.Verify(data) {
+			return fmt.Errorf("node %v: image mismatch", n.ID())
+		}
+	}
+	return nil
+}

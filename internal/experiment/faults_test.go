@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"mnp/internal/packet"
+)
+
+// TestRandomNodeDeathsDuringDissemination kills a series of random
+// non-base nodes while the wave is in flight. The dense 8x8 grid stays
+// connected, so the paper's coverage requirement applies to the
+// survivors — all of them must still complete with byte-identical
+// images.
+func TestRandomNodeDeathsDuringDissemination(t *testing.T) {
+	res2, err := Build(Setup{
+		Name: "faults2", Rows: 8, Cols: 8, ImagePackets: 128, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := res2.Kernel.Rand()
+	killed := make(map[packet.NodeID]bool)
+	for i := 0; i < 6; i++ {
+		at := time.Duration(20+i*25) * time.Second
+		res2.Kernel.MustSchedule(at, func() {
+			// Pick a live non-base victim.
+			for tries := 0; tries < 20; tries++ {
+				id := packet.NodeID(1 + rng.Intn(res2.Layout.N()-1))
+				if !killed[id] {
+					killed[id] = true
+					res2.Network.Node(id).Kill()
+					return
+				}
+			}
+		})
+	}
+	res2.Network.Start()
+	if !res2.Network.RunUntilComplete(6 * time.Hour) {
+		t.Fatalf("survivors incomplete: %d/%d live",
+			res2.Network.CompletedCount(), res2.Layout.N()-len(killed))
+	}
+	if len(killed) == 0 {
+		t.Fatal("no nodes were killed")
+	}
+	for _, n := range res2.Network.Nodes {
+		if n.Dead() {
+			continue
+		}
+		data, err := res2.Image.Reassemble(func(seg, pkt int) []byte {
+			return n.EEPROM().Read(seg, pkt)
+		})
+		if err != nil {
+			t.Fatalf("survivor %v: %v", n.ID(), err)
+		}
+		if !res2.Image.Verify(data) {
+			t.Fatalf("survivor %v image mismatch", n.ID())
+		}
+	}
+}
+
+// TestBaseStationDiesAfterSeeding kills the base once a third of the
+// network has the code; the remaining sources must finish coverage.
+func TestBaseStationDiesAfterSeeding(t *testing.T) {
+	res, err := Build(Setup{
+		Name: "base-death", Rows: 5, Cols: 5, ImagePackets: 128, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Network.Start()
+	baseKilled := false
+	done := res.Kernel.RunUntil(func() bool {
+		if !baseKilled && res.Network.CompletedCount() >= res.Layout.N()/3 {
+			baseKilled = true
+			res.Network.Node(0).Kill()
+		}
+		return res.Network.AllCompleted()
+	}, 6*time.Hour)
+	if !baseKilled {
+		t.Fatal("base was never killed")
+	}
+	if !done {
+		t.Fatalf("coverage incomplete after base death: %d/%d",
+			res.Network.CompletedCount(), res.Layout.N())
+	}
+}
+
+// TestKilledMidTransferSenderRecovers kills whichever node first
+// becomes a non-base sender, mid-stream; its children must fail over
+// to other sources.
+func TestKilledMidTransferSenderRecovers(t *testing.T) {
+	res, err := Build(Setup{
+		Name: "sender-death", Rows: 4, Cols: 4, Spacing: 15, ImagePackets: 256, Seed: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Network.Start()
+	var victim packet.NodeID
+	victimKilled := false
+	done := res.Kernel.RunUntil(func() bool {
+		if !victimKilled {
+			for _, ev := range res.Collector.SenderEvents() {
+				if ev.Node != 0 {
+					victim = ev.Node
+					victimKilled = true
+					// Let it stream briefly, then kill it mid-transfer.
+					res.Kernel.MustSchedule(500*time.Millisecond, func() {
+						res.Network.Node(victim).Kill()
+					})
+					break
+				}
+			}
+		}
+		return res.Network.AllCompleted()
+	}, 6*time.Hour)
+	if !victimKilled {
+		t.Skip("no non-base sender emerged")
+	}
+	if !done {
+		t.Fatalf("network did not recover from sender %v's death: %d/%d",
+			victim, res.Network.CompletedCount(), res.Layout.N())
+	}
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mnp/internal/packet"
+)
+
+// renderDurationGrid draws a per-node duration value in grid layout,
+// in seconds.
+func renderDurationGrid(res *Result, title string, value func(id packet.NodeID) time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (seconds, %dx%d grid, base at top-left):\n", title, res.Layout.Rows(), res.Layout.Cols())
+	for r := 0; r < res.Layout.Rows(); r++ {
+		for c := 0; c < res.Layout.Cols(); c++ {
+			id := packet.NodeID(r*res.Layout.Cols() + c)
+			fmt.Fprintf(&b, "%6.0f", value(id).Seconds())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderIntGrid draws a per-node integer value in grid layout.
+func renderIntGrid(res *Result, title string, value func(id packet.NodeID) int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%dx%d grid, base at top-left):\n", title, res.Layout.Rows(), res.Layout.Cols())
+	for r := 0; r < res.Layout.Rows(); r++ {
+		for c := 0; c < res.Layout.Cols(); c++ {
+			id := packet.NodeID(r*res.Layout.Cols() + c)
+			fmt.Fprintf(&b, "%6d", value(id))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderParentMap reports, per node, the parent it downloaded from —
+// the arrows of Figures 5–7 — plus the order nodes became senders.
+func renderParentMap(res *Result) string {
+	var b strings.Builder
+	b.WriteString("parent map (node <- parent):\n")
+	for i := 0; i < res.Layout.N(); i++ {
+		id := packet.NodeID(i)
+		r, c, _ := res.Layout.GridCoord(id)
+		parent, ok := res.Collector.Parent(id)
+		if !ok {
+			if id == 0 {
+				fmt.Fprintf(&b, "  (%d,%d) base station\n", r, c)
+			} else {
+				fmt.Fprintf(&b, "  (%d,%d) no parent recorded\n", r, c)
+			}
+			continue
+		}
+		pr, pc, _ := res.Layout.GridCoord(parent)
+		fmt.Fprintf(&b, "  (%d,%d) <- (%d,%d)\n", r, c, pr, pc)
+	}
+	order := res.Collector.SenderOrder()
+	b.WriteString("sender order:")
+	for i, id := range order {
+		r, c, _ := res.Layout.GridCoord(id)
+		fmt.Fprintf(&b, " %d:(%d,%d)", i+1, r, c)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "senders: %d of %d nodes; concurrent same-neighborhood data senders: %d\n",
+		len(order), res.Layout.N(), res.Collector.ConcurrencyViolations())
+	return b.String()
+}
+
+// renderRingSummary averages a per-node duration by hop distance from
+// the base-station corner.
+func renderRingSummary(res *Result, title string, value func(id packet.NodeID) time.Duration) string {
+	sums := make(map[int]time.Duration)
+	counts := make(map[int]int)
+	for i := 0; i < res.Layout.N(); i++ {
+		id := packet.NodeID(i)
+		hop, err := res.Layout.HopDistanceFromCorner(id)
+		if err != nil {
+			continue
+		}
+		sums[hop] += value(id)
+		counts[hop]++
+	}
+	rings := make([]int, 0, len(sums))
+	for h := range sums {
+		rings = append(rings, h)
+	}
+	sort.Ints(rings)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s by distance from base:\n", title)
+	for _, h := range rings {
+		mean := sums[h] / time.Duration(counts[h])
+		fmt.Fprintf(&b, "  ring %2d (%2d nodes): %6.0f s\n", h, counts[h], mean.Seconds())
+	}
+	return b.String()
+}
+
+// runSummary is the header line every experiment report starts with.
+func runSummary(res *Result) string {
+	return fmt.Sprintf("%s: %s, %d nodes, program %d packets (%.1f KB), protocol %s, power %d\n"+
+		"completed=%v completion=%s\n",
+		res.Setup.Name, res.Layout.Name(), res.Layout.N(),
+		res.Image.TotalPackets(), float64(res.Image.Size())/1024,
+		res.Setup.Protocol, res.Setup.Power,
+		res.Completed, fmtDur(res.CompletionTime))
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Second).String()
+}

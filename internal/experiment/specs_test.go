@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllSpecsProduceReports runs every paper experiment end to end and
+// sanity-checks its report. This is the same work `cmd/mnpexp all` and
+// the benchmark suite do, so it takes a couple of CPU minutes; skip it
+// in -short runs.
+func TestAllSpecsProduceReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	keyContent := map[string][]string{
+		"T1":   {"Transmitting a packet", "83.333"},
+		"F5":   {"sender order", "parent map"},
+		"F6":   {"sender order", "power 50"},
+		"F7":   {"grid-2x10", "sender order"},
+		"F8":   {"average active radio time", "ring 19"},
+		"F9":   {"without initial idle", "spread"},
+		"F10":  {"segments", "linear fit", "R^2"},
+		"F11":  {"messages sent", "receptions"},
+		"F12":  {"data msgs/minute"},
+		"F13":  {"fraction of nodes", "diagonal/edge"},
+		"EDEL": {"MNP", "Deluge", "msgs sent"},
+		"A1":   {"with selection", "without selection"},
+		"A2":   {"with sleep", "without sleep"},
+		"A3":   {"with repair", "without repair"},
+		"A4":   {"power uniform", "battery-aware"},
+		"A5":   {"always listening", "idle duty"},
+		"A6":   {"corner base", "center base", "completion ratio"},
+	}
+	for _, spec := range AllSpecs() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			out, err := spec.Run(42)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.ID, err)
+			}
+			for _, want := range keyContent[spec.ID] {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s report missing %q", spec.ID, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+// Package imgdiff provides block-level binary diffs between program
+// images. The paper positions MNP as complementary to difference-based
+// reprogramming (Reijers & Langendoen): instead of the full new image,
+// the network disseminates a small patch that each mote applies to the
+// version it already runs. A patch produced here is ordinary data —
+// packetize it with the image package and push it with MNP.
+//
+// The format is a compact opcode stream over fixed-size blocks of the
+// old image:
+//
+//	header:  magic "MD" | version 1 | blockSize u16 | oldSize u32 | newSize u32
+//	opcodes: opCopy 0x01 | firstBlock u32 | blockCount u16
+//	         opData 0x02 | length u16 | raw bytes
+//	         opEnd  0x03
+package imgdiff
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	magic0  = 'M'
+	magic1  = 'D'
+	version = 1
+
+	opCopy = 0x01
+	opData = 0x02
+	opEnd  = 0x03
+
+	// DefaultBlockSize balances patch granularity against the hash
+	// table size on typical mote images.
+	DefaultBlockSize = 32
+
+	maxBlockSize = 1 << 12
+	maxDataRun   = 1<<16 - 1
+	maxCopyRun   = 1<<16 - 1
+)
+
+// Diff computes a patch transforming old into new, matching on
+// blockSize-aligned blocks of old (DefaultBlockSize when 0).
+func Diff(oldData, newData []byte, blockSize int) ([]byte, error) {
+	if blockSize == 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize < 4 || blockSize > maxBlockSize {
+		return nil, fmt.Errorf("imgdiff: block size %d out of range [4, %d]", blockSize, maxBlockSize)
+	}
+	if len(newData) == 0 {
+		return nil, fmt.Errorf("imgdiff: empty new image")
+	}
+
+	// Index the old image's blocks by content.
+	index := make(map[string]int)
+	for i := 0; i+blockSize <= len(oldData); i += blockSize {
+		key := string(oldData[i : i+blockSize])
+		if _, ok := index[key]; !ok {
+			index[key] = i / blockSize
+		}
+	}
+
+	out := make([]byte, 0, len(newData)/4+16)
+	out = append(out, magic0, magic1, version)
+	out = binary.BigEndian.AppendUint16(out, uint16(blockSize))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(oldData)))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(newData)))
+
+	var literal []byte
+	flushLiteral := func() {
+		for len(literal) > 0 {
+			n := len(literal)
+			if n > maxDataRun {
+				n = maxDataRun
+			}
+			out = append(out, opData)
+			out = binary.BigEndian.AppendUint16(out, uint16(n))
+			out = append(out, literal[:n]...)
+			literal = literal[n:]
+		}
+	}
+
+	pos := 0
+	for pos < len(newData) {
+		if pos+blockSize <= len(newData) {
+			if blockIdx, ok := index[string(newData[pos:pos+blockSize])]; ok {
+				// Extend the run over consecutive old blocks.
+				run := 1
+				for run < maxCopyRun &&
+					pos+(run+1)*blockSize <= len(newData) &&
+					(blockIdx+run+1)*blockSize <= len(oldData) &&
+					bytes.Equal(
+						newData[pos+run*blockSize:pos+(run+1)*blockSize],
+						oldData[(blockIdx+run)*blockSize:(blockIdx+run+1)*blockSize]) {
+					run++
+				}
+				flushLiteral()
+				out = append(out, opCopy)
+				out = binary.BigEndian.AppendUint32(out, uint32(blockIdx))
+				out = binary.BigEndian.AppendUint16(out, uint16(run))
+				pos += run * blockSize
+				continue
+			}
+		}
+		literal = append(literal, newData[pos])
+		pos++
+	}
+	flushLiteral()
+	out = append(out, opEnd)
+	return out, nil
+}
+
+// Apply reconstructs the new image from the old image and a patch.
+func Apply(oldData, patch []byte) ([]byte, error) {
+	const headerLen = 13
+	if len(patch) < headerLen+1 {
+		return nil, fmt.Errorf("imgdiff: patch too short (%d bytes)", len(patch))
+	}
+	if patch[0] != magic0 || patch[1] != magic1 {
+		return nil, fmt.Errorf("imgdiff: bad magic")
+	}
+	if patch[2] != version {
+		return nil, fmt.Errorf("imgdiff: unsupported version %d", patch[2])
+	}
+	blockSize := int(binary.BigEndian.Uint16(patch[3:]))
+	if blockSize < 4 || blockSize > maxBlockSize {
+		return nil, fmt.Errorf("imgdiff: bad block size %d", blockSize)
+	}
+	oldSize := int(binary.BigEndian.Uint32(patch[5:]))
+	newSize := int(binary.BigEndian.Uint32(patch[9:]))
+	if oldSize != len(oldData) {
+		return nil, fmt.Errorf("imgdiff: patch made for a %d-byte base, have %d bytes", oldSize, len(oldData))
+	}
+
+	out := make([]byte, 0, newSize)
+	pos := headerLen
+	for {
+		if pos >= len(patch) {
+			return nil, fmt.Errorf("imgdiff: truncated patch (no end opcode)")
+		}
+		op := patch[pos]
+		pos++
+		switch op {
+		case opCopy:
+			if pos+6 > len(patch) {
+				return nil, fmt.Errorf("imgdiff: truncated copy opcode")
+			}
+			first := int(binary.BigEndian.Uint32(patch[pos:]))
+			count := int(binary.BigEndian.Uint16(patch[pos+4:]))
+			pos += 6
+			lo := first * blockSize
+			hi := (first + count) * blockSize
+			if count == 0 || hi > len(oldData) || lo < 0 {
+				return nil, fmt.Errorf("imgdiff: copy [%d, %d) outside the base image", lo, hi)
+			}
+			out = append(out, oldData[lo:hi]...)
+		case opData:
+			if pos+2 > len(patch) {
+				return nil, fmt.Errorf("imgdiff: truncated data opcode")
+			}
+			n := int(binary.BigEndian.Uint16(patch[pos:]))
+			pos += 2
+			if n == 0 || pos+n > len(patch) {
+				return nil, fmt.Errorf("imgdiff: bad data run of %d bytes", n)
+			}
+			out = append(out, patch[pos:pos+n]...)
+			pos += n
+		case opEnd:
+			if len(out) != newSize {
+				return nil, fmt.Errorf("imgdiff: reconstructed %d bytes, header says %d", len(out), newSize)
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("imgdiff: unknown opcode %#02x", op)
+		}
+	}
+}
+
+// Stats summarizes a patch's composition.
+type Stats struct {
+	BlockSize    int
+	OldSize      int
+	NewSize      int
+	PatchSize    int
+	CopyOps      int
+	CopiedBytes  int
+	DataOps      int
+	LiteralBytes int
+}
+
+// Ratio returns patch size as a fraction of the new image size.
+func (s Stats) Ratio() float64 {
+	if s.NewSize == 0 {
+		return 0
+	}
+	return float64(s.PatchSize) / float64(s.NewSize)
+}
+
+// Inspect parses a patch and reports its composition.
+func Inspect(patch []byte) (Stats, error) {
+	const headerLen = 13
+	if len(patch) < headerLen+1 || patch[0] != magic0 || patch[1] != magic1 {
+		return Stats{}, fmt.Errorf("imgdiff: not a patch")
+	}
+	s := Stats{
+		BlockSize: int(binary.BigEndian.Uint16(patch[3:])),
+		OldSize:   int(binary.BigEndian.Uint32(patch[5:])),
+		NewSize:   int(binary.BigEndian.Uint32(patch[9:])),
+		PatchSize: len(patch),
+	}
+	pos := headerLen
+	for pos < len(patch) {
+		op := patch[pos]
+		pos++
+		switch op {
+		case opCopy:
+			if pos+6 > len(patch) {
+				return Stats{}, fmt.Errorf("imgdiff: truncated copy opcode")
+			}
+			count := int(binary.BigEndian.Uint16(patch[pos+4:]))
+			s.CopyOps++
+			s.CopiedBytes += count * s.BlockSize
+			pos += 6
+		case opData:
+			if pos+2 > len(patch) {
+				return Stats{}, fmt.Errorf("imgdiff: truncated data opcode")
+			}
+			n := int(binary.BigEndian.Uint16(patch[pos:]))
+			s.DataOps++
+			s.LiteralBytes += n
+			pos += 2 + n
+		case opEnd:
+			return s, nil
+		default:
+			return Stats{}, fmt.Errorf("imgdiff: unknown opcode %#02x", op)
+		}
+	}
+	return Stats{}, fmt.Errorf("imgdiff: truncated patch")
+}

@@ -1,0 +1,270 @@
+package imgdiff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// mutate applies a few point edits, insertions and deletions to data.
+func mutate(rng *rand.Rand, data []byte, edits int) []byte {
+	out := append([]byte(nil), data...)
+	for i := 0; i < edits && len(out) > 1; i++ {
+		switch rng.Intn(3) {
+		case 0: // flip a run of bytes
+			at := rng.Intn(len(out))
+			n := rng.Intn(16) + 1
+			for j := at; j < at+n && j < len(out); j++ {
+				out[j] ^= byte(rng.Intn(255) + 1)
+			}
+		case 1: // insert
+			at := rng.Intn(len(out))
+			ins := randBytes(rng, rng.Intn(24)+1)
+			out = append(out[:at], append(ins, out[at:]...)...)
+		default: // delete
+			at := rng.Intn(len(out))
+			n := rng.Intn(24) + 1
+			if at+n > len(out) {
+				n = len(out) - at
+			}
+			out = append(out[:at], out[at+n:]...)
+		}
+	}
+	if len(out) == 0 {
+		out = []byte{1}
+	}
+	return out
+}
+
+func TestDiffValidation(t *testing.T) {
+	if _, err := Diff([]byte{1}, nil, 0); err == nil {
+		t.Error("empty new image accepted")
+	}
+	if _, err := Diff([]byte{1}, []byte{1}, 2); err == nil {
+		t.Error("tiny block size accepted")
+	}
+	if _, err := Diff([]byte{1}, []byte{1}, 1<<13); err == nil {
+		t.Error("huge block size accepted")
+	}
+}
+
+func TestIdenticalImagesProduceTinyPatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	old := randBytes(rng, 8192)
+	patch, err := Diff(old, old, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Apply(old, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatal("identity patch does not reproduce the image")
+	}
+	st, err := Inspect(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ratio() > 0.02 {
+		t.Fatalf("identity patch ratio %.3f, want < 2%%", st.Ratio())
+	}
+	if st.LiteralBytes != 0 {
+		t.Fatalf("identity patch carries %d literal bytes", st.LiteralBytes)
+	}
+}
+
+func TestSmallEditSmallPatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	old := randBytes(rng, 16384)
+	newData := append([]byte(nil), old...)
+	copy(newData[5000:], []byte("PATCHED CONSTANT"))
+	patch, err := Diff(old, newData, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Apply(old, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newData) {
+		t.Fatal("patched image mismatch")
+	}
+	st, _ := Inspect(patch)
+	if st.Ratio() > 0.05 {
+		t.Fatalf("single-edit patch ratio %.3f, want < 5%%", st.Ratio())
+	}
+}
+
+func TestUnrelatedImagesStillRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	old := randBytes(rng, 4096)
+	newData := randBytes(rng, 5000)
+	patch, err := Diff(old, newData, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Apply(old, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newData) {
+		t.Fatal("unrelated-image patch mismatch")
+	}
+	st, _ := Inspect(patch)
+	if st.Ratio() < 1.0 {
+		t.Logf("note: unrelated patch ratio %.3f (chance matches)", st.Ratio())
+	}
+}
+
+func TestApplyRejectsCorruptPatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	old := randBytes(rng, 2048)
+	newData := mutate(rng, old, 5)
+	patch, err := Diff(old, newData, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(old, patch[:5]); err == nil {
+		t.Error("truncated patch accepted")
+	}
+	bad := append([]byte(nil), patch...)
+	bad[0] = 'X'
+	if _, err := Apply(old, bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), patch...)
+	bad[2] = 9
+	if _, err := Apply(old, bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Wrong base image size.
+	if _, err := Apply(old[:100], patch); err == nil {
+		t.Error("wrong base accepted")
+	}
+	// Drop the end opcode.
+	if _, err := Apply(old, patch[:len(patch)-1]); err == nil {
+		t.Error("endless patch accepted")
+	}
+	// Fuzz the body: must error or produce exactly newData-sized output.
+	for i := 0; i < 300; i++ {
+		f := append([]byte(nil), patch...)
+		f[13+rng.Intn(len(f)-13)] ^= byte(rng.Intn(255) + 1)
+		got, err := Apply(old, f)
+		if err == nil && len(got) != len(newData) {
+			t.Fatal("corrupt patch produced wrong-size image without error")
+		}
+	}
+}
+
+func TestInspect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	old := randBytes(rng, 4096)
+	newData := mutate(rng, old, 3)
+	patch, err := Diff(old, newData, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Inspect(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlockSize != 64 || st.OldSize != 4096 || st.NewSize != len(newData) || st.PatchSize != len(patch) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CopiedBytes+st.LiteralBytes < st.NewSize {
+		t.Fatalf("stats do not cover the image: %+v", st)
+	}
+	if _, err := Inspect([]byte{1, 2}); err == nil {
+		t.Error("Inspect accepted junk")
+	}
+	if (Stats{}).Ratio() != 0 {
+		t.Error("zero stats ratio != 0")
+	}
+}
+
+// Property: Diff/Apply round-trips for random bases and random
+// mutations at various block sizes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, sizeRaw uint16, editsRaw, bsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(sizeRaw)%8000 + 1
+		old := randBytes(rng, size)
+		newData := mutate(rng, old, int(editsRaw)%20)
+		blockSize := []int{8, 16, 32, 64, 128}[int(bsRaw)%5]
+		patch, err := Diff(old, newData, blockSize)
+		if err != nil {
+			return false
+		}
+		got, err := Apply(old, patch)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, newData)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: patches of lightly-edited images are much smaller than the
+// image itself.
+func TestQuickSmallEditsCompressWell(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		old := randBytes(rng, 16384)
+		newData := append([]byte(nil), old...)
+		// Three 8-byte edits.
+		for i := 0; i < 3; i++ {
+			at := rng.Intn(len(newData) - 8)
+			rng.Read(newData[at : at+8])
+		}
+		patch, err := Diff(old, newData, DefaultBlockSize)
+		if err != nil {
+			return false
+		}
+		st, err := Inspect(patch)
+		if err != nil {
+			return false
+		}
+		return st.Ratio() < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDiff16K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	old := randBytes(rng, 16384)
+	newData := mutate(rng, old, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Diff(old, newData, DefaultBlockSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApply16K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	old := randBytes(rng, 16384)
+	newData := mutate(rng, old, 10)
+	patch, err := Diff(old, newData, DefaultBlockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(old, patch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

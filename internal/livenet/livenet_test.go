@@ -1,0 +1,240 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+
+	"mnp/internal/core"
+	"mnp/internal/deluge"
+	"mnp/internal/image"
+	"mnp/internal/node"
+	"mnp/internal/packet"
+	"mnp/internal/radio"
+	"mnp/internal/topology"
+)
+
+func cleanRadio() radio.Params {
+	p := radio.DefaultParams()
+	p.BERFloor = 1e-9
+	p.BERCeil = 1e-8
+	p.AsymSigma = 0
+	return p
+}
+
+func mnpFactory(t *testing.T, img *image.Image) func(id packet.NodeID) node.Protocol {
+	t.Helper()
+	return func(id packet.NodeID) node.Protocol {
+		cfg := core.DefaultConfig()
+		if id == 0 {
+			cfg.Base = true
+			cfg.Image = img
+		}
+		return core.New(cfg)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	l, _ := topology.Line(2, 10)
+	f := func(packet.NodeID) node.Protocol { return core.New(core.DefaultConfig()) }
+	if _, err := New(Config{Radio: cleanRadio()}, f); err == nil {
+		t.Error("nil layout accepted")
+	}
+	if _, err := New(Config{Layout: l, Radio: cleanRadio()}, nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := New(Config{Layout: l, Radio: cleanRadio(), TimeScale: 0.5}, f); err == nil {
+		t.Error("sub-1 time scale accepted")
+	}
+	if _, err := New(Config{Layout: l, Radio: cleanRadio(), Power: 4242}, f); err == nil {
+		t.Error("unknown power accepted")
+	}
+}
+
+func TestLiveDisseminationTwoNodes(t *testing.T) {
+	img, err := image.Random(1, 1, 3, image.WithSegmentPackets(16), image.WithPayloadSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := topology.Line(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Layout: l, Radio: cleanRadio(), TimeScale: 400, Seed: 1}, mnpFactory(t, img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	if !n.WaitAllComplete(20 * time.Second) {
+		t.Fatalf("live dissemination incomplete: %d/2", n.CompletedCount())
+	}
+	data, err := img.Reassemble(func(seg, pkt int) []byte { return n.Store(1).Read(seg, pkt) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Verify(data) {
+		t.Fatal("image mismatch over live runtime")
+	}
+}
+
+func TestLiveDisseminationMultihop(t *testing.T) {
+	img, err := image.Random(1, 1, 5, image.WithSegmentPackets(16), image.WithPayloadSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1×4 line at 20 ft spacing: multihop at PowerSim range.
+	l, err := topology.Line(4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Layout: l, Radio: cleanRadio(), TimeScale: 400, Seed: 2}, mnpFactory(t, img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	if !n.WaitAllComplete(40 * time.Second) {
+		t.Fatalf("live multihop incomplete: %d/4", n.CompletedCount())
+	}
+	for i := 1; i < 4; i++ {
+		data, err := img.Reassemble(func(seg, pkt int) []byte { return n.Store(packet.NodeID(i)).Read(seg, pkt) })
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if !img.Verify(data) {
+			t.Fatalf("node %d image mismatch", i)
+		}
+		if n.Store(packet.NodeID(i)).MaxWriteCount() > 1 {
+			t.Fatalf("node %d rewrote EEPROM", i)
+		}
+	}
+}
+
+func TestLiveDelugeDissemination(t *testing.T) {
+	// The live runtime is protocol-agnostic: the Deluge baseline runs
+	// on goroutines too.
+	raw := make([]byte, 96*8) // 96 packets of 8 bytes = 2 pages of 48
+	for i := range raw {
+		raw[i] = byte(i * 13)
+	}
+	img, err := image.New(1, raw, image.WithPayloadSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := topology.Line(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Layout: l, Radio: cleanRadio(), TimeScale: 400, Seed: 6}, func(id packet.NodeID) node.Protocol {
+		cfg := deluge.DefaultConfig()
+		if id == 0 {
+			cfg.Base = true
+			cfg.Image = img
+		}
+		return deluge.New(cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	if !n.WaitAllComplete(30 * time.Second) {
+		t.Fatalf("live Deluge incomplete: %d/3", n.CompletedCount())
+	}
+}
+
+func TestBatteryAssignment(t *testing.T) {
+	img, err := image.Random(1, 1, 8, image.WithSegmentPackets(8), image.WithPayloadSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := topology.Line(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{
+		Layout: l, Radio: cleanRadio(), TimeScale: 400, Seed: 7,
+		Battery: func(id packet.NodeID) float64 {
+			if id == 1 {
+				return 0.2
+			}
+			return 1.0
+		},
+	}, mnpFactory(t, img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	if got := n.nodes[1].Battery(); got != 0.2 {
+		t.Fatalf("battery = %v", got)
+	}
+}
+
+func TestLiveRuntimeSurface(t *testing.T) {
+	img, err := image.Random(1, 1, 8, image.WithSegmentPackets(8), image.WithPayloadSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := topology.Line(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Layout: l, Radio: cleanRadio(), TimeScale: 400, Seed: 8}, mnpFactory(t, img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop the goroutines first: the runtime surface below is owned by
+	// the node loop while it runs.
+	n.WaitAllComplete(10 * time.Second)
+	n.Stop()
+	ln := n.nodes[1]
+	if ln.ID() != 1 {
+		t.Fatal("ID wrong")
+	}
+	if ln.Now() < 0 {
+		t.Fatal("negative Now")
+	}
+	ln.SetTxPower(radio.PowerFull)
+	if ln.TxPower() != radio.PowerFull {
+		t.Fatal("power not kept")
+	}
+	ln.Event(node.Event{Kind: node.EventGotSegment}) // no-op must not panic
+	// Storage surface: out-of-band writes are observable through the
+	// same runtime view. (The protocol goroutine also writes here, but
+	// a disjoint segment avoids interference.)
+	if ln.HasPacket(200, 0) {
+		t.Fatal("phantom packet")
+	}
+	if err := ln.Store(200, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if !ln.HasPacket(200, 0) || ln.Load(200, 0) == nil {
+		t.Fatal("store surface broken")
+	}
+	// Send with the radio off errors; IsRadioOn reflects state.
+	offNode := &liveNode{id: 9, net: n}
+	if offNode.IsRadioOn() {
+		t.Fatal("fresh node radio on")
+	}
+	if err := offNode.Send(&packet.StartSignal{Src: 9, ProgramID: 1}); err == nil {
+		t.Fatal("radio-off send accepted")
+	}
+	if !ln.TimerPending(0) && ln.TimerPending(0) {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestStopIsIdempotentAndTerminates(t *testing.T) {
+	img, err := image.Random(1, 1, 7, image.WithSegmentPackets(8), image.WithPayloadSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := topology.Grid(2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Layout: l, Radio: cleanRadio(), TimeScale: 400, Seed: 3}, mnpFactory(t, img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	n.Stop()
+	n.Stop() // second call must not panic or hang
+}

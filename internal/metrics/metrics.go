@@ -1,0 +1,413 @@
+// Package metrics collects the quantities the paper's evaluation
+// reports: completion time, per-node active radio time (with and
+// without the initial idle-listening period), transmission/reception
+// distributions by message class, per-minute traffic timelines,
+// parent–child relationships, sender order, energy ledgers built from
+// the Table 1 costs, and same-neighborhood sender-concurrency
+// violations.
+//
+// A Collector plugs into the simulation as both the radio traffic sink
+// and the node observer.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mnp/internal/energy"
+	"mnp/internal/node"
+	"mnp/internal/packet"
+	"mnp/internal/topology"
+)
+
+// Config parameterizes a collector.
+type Config struct {
+	// Layout is required for location-based reports.
+	Layout *topology.Layout
+	// Airtime converts a frame size to channel occupancy (use
+	// Medium.Airtime).
+	Airtime func(bytes int) time.Duration
+	// Costs is the energy cost table; Table1 if zero.
+	Costs energy.Costs
+	// NeighborhoodRange (feet) defines "nearby" for the concurrent-
+	// sender check; 0 disables the check.
+	NeighborhoodRange float64
+}
+
+type radioInterval struct {
+	at time.Duration
+	on bool
+}
+
+type nodeStats struct {
+	tx, rx, collided int
+	txByClass        map[packet.Class]int
+	rxByClass        map[packet.Class]int
+	txAir            time.Duration
+	rxAir            time.Duration
+	radio            []radioInterval
+	firstAdvHeard    time.Duration
+	sawAdv           bool
+	eepromReadBytes  int
+	eepromWriteBytes int
+	gotCodeAt        time.Duration
+	completed        bool
+	parent           packet.NodeID
+	hasParent        bool
+	parentAtDone     packet.NodeID
+	hasParentAtDone  bool
+	segTimes         map[int]time.Duration
+}
+
+// SenderEvent records a node becoming a sender.
+type SenderEvent struct {
+	At   time.Duration
+	Node packet.NodeID
+	Seg  int
+}
+
+// Collector accumulates observations. It is not safe for concurrent
+// use (the DES is single-threaded).
+type Collector struct {
+	cfg   Config
+	nodes []nodeStats
+	// windows counts transmissions by class per minute of simulated
+	// time.
+	windows map[int]map[packet.Class]int
+	senders []SenderEvent
+
+	now func() time.Duration
+
+	// Concurrent-sender tracking.
+	activeData []senderWindow
+	violations int
+}
+
+type senderWindow struct {
+	id    packet.NodeID
+	until time.Duration
+}
+
+// NewCollector builds a collector for the given layout.
+func NewCollector(cfg Config, now func() time.Duration) (*Collector, error) {
+	if cfg.Layout == nil || cfg.Airtime == nil || now == nil {
+		return nil, fmt.Errorf("metrics: layout, airtime, and clock are required")
+	}
+	if cfg.Costs == (energy.Costs{}) {
+		cfg.Costs = energy.Table1
+	}
+	c := &Collector{
+		cfg:     cfg,
+		nodes:   make([]nodeStats, cfg.Layout.N()),
+		windows: make(map[int]map[packet.Class]int),
+		now:     now,
+	}
+	for i := range c.nodes {
+		c.nodes[i].txByClass = make(map[packet.Class]int)
+		c.nodes[i].rxByClass = make(map[packet.Class]int)
+		c.nodes[i].segTimes = make(map[int]time.Duration)
+	}
+	return c, nil
+}
+
+var _ node.Observer = (*Collector)(nil)
+
+// --- radio.TrafficSink ---
+
+// FrameSent implements radio.TrafficSink.
+func (c *Collector) FrameSent(src packet.NodeID, kind packet.Kind, bytes int) {
+	st := &c.nodes[src]
+	st.tx++
+	class := packet.ClassOf(kind)
+	st.txByClass[class]++
+	air := c.cfg.Airtime(bytes)
+	st.txAir += air
+	minute := int(c.now() / time.Minute)
+	w := c.windows[minute]
+	if w == nil {
+		w = make(map[packet.Class]int)
+		c.windows[minute] = w
+	}
+	w[class]++
+
+	if c.cfg.NeighborhoodRange > 0 && class == packet.ClassData {
+		now := c.now()
+		live := c.activeData[:0]
+		for _, sw := range c.activeData {
+			if sw.until > now {
+				live = append(live, sw)
+			}
+		}
+		c.activeData = live
+		for _, sw := range c.activeData {
+			if d, err := c.cfg.Layout.Distance(src, sw.id); err == nil && d <= c.cfg.NeighborhoodRange {
+				c.violations++
+			}
+		}
+		c.activeData = append(c.activeData, senderWindow{id: src, until: now + air})
+	}
+}
+
+// FrameReceived implements radio.TrafficSink.
+func (c *Collector) FrameReceived(dst, src packet.NodeID, kind packet.Kind, bytes int) {
+	st := &c.nodes[dst]
+	st.rx++
+	st.rxByClass[packet.ClassOf(kind)]++
+	st.rxAir += c.cfg.Airtime(bytes)
+	if !st.sawAdv && packet.ClassOf(kind) == packet.ClassAdvertisement {
+		st.sawAdv = true
+		st.firstAdvHeard = c.now()
+	}
+}
+
+// FrameCollided implements radio.TrafficSink.
+func (c *Collector) FrameCollided(dst, src packet.NodeID, kind packet.Kind) {
+	c.nodes[dst].collided++
+}
+
+// --- node.Observer ---
+
+// NodeEvent implements node.Observer.
+func (c *Collector) NodeEvent(id packet.NodeID, at time.Duration, ev node.Event) {
+	st := &c.nodes[id]
+	switch ev.Kind {
+	case node.EventGotCode:
+		if !st.completed {
+			st.completed = true
+			st.gotCodeAt = at
+			if st.hasParent {
+				st.parentAtDone = st.parent
+				st.hasParentAtDone = true
+			}
+		}
+	case node.EventParentSet:
+		st.parent = ev.Peer
+		st.hasParent = true
+	case node.EventBecameSender:
+		c.senders = append(c.senders, SenderEvent{At: at, Node: id, Seg: ev.Seg})
+	case node.EventGotSegment:
+		if _, ok := st.segTimes[ev.Seg]; !ok {
+			st.segTimes[ev.Seg] = at
+		}
+	}
+}
+
+// RadioState implements node.Observer.
+func (c *Collector) RadioState(id packet.NodeID, at time.Duration, on bool) {
+	c.nodes[id].radio = append(c.nodes[id].radio, radioInterval{at: at, on: on})
+}
+
+// StorageOp implements node.Observer.
+func (c *Collector) StorageOp(id packet.NodeID, write bool, bytes int) {
+	if write {
+		c.nodes[id].eepromWriteBytes += bytes
+		return
+	}
+	c.nodes[id].eepromReadBytes += bytes
+}
+
+// --- reports ---
+
+// ActiveRadioTime returns how long node id's radio was on during
+// [from, until). The paper's headline metric uses from = 0; Figure 9's
+// variant uses from = the time the node heard its first advertisement,
+// removing the initial idle-listening period.
+func (c *Collector) ActiveRadioTime(id packet.NodeID, from, until time.Duration) time.Duration {
+	st := &c.nodes[id]
+	var total time.Duration
+	on := false
+	var onSince time.Duration
+	for _, iv := range st.radio {
+		if iv.at > until {
+			break
+		}
+		if iv.on && !on {
+			on = true
+			onSince = iv.at
+		} else if !iv.on && on {
+			on = false
+			total += overlap(onSince, iv.at, from, until)
+		}
+	}
+	if on {
+		total += overlap(onSince, until, from, until)
+	}
+	return total
+}
+
+func overlap(aLo, aHi, bLo, bHi time.Duration) time.Duration {
+	lo := aLo
+	if bLo > lo {
+		lo = bLo
+	}
+	hi := aHi
+	if bHi < hi {
+		hi = bHi
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// FirstAdvertisementHeard returns when node id first heard an
+// advertisement-class message, and whether it ever did.
+func (c *Collector) FirstAdvertisementHeard(id packet.NodeID) (time.Duration, bool) {
+	st := &c.nodes[id]
+	return st.firstAdvHeard, st.sawAdv
+}
+
+// Ledger builds node id's energy ledger for activity in [0, until):
+// transmissions, receptions, idle listening (radio-on time not spent
+// transmitting or receiving), and EEPROM traffic.
+func (c *Collector) Ledger(id packet.NodeID, until time.Duration) *energy.Ledger {
+	st := &c.nodes[id]
+	l := energy.NewLedger(c.cfg.Costs)
+	l.AddTx(st.tx)
+	l.AddRx(st.rx)
+	idle := c.ActiveRadioTime(id, 0, until) - st.txAir - st.rxAir
+	l.AddIdle(idle)
+	l.AddEEPROMWrite(st.eepromWriteBytes)
+	l.AddEEPROMRead(st.eepromReadBytes)
+	return l
+}
+
+// TxCount returns transmissions by node id (all classes, or one).
+func (c *Collector) TxCount(id packet.NodeID) int { return c.nodes[id].tx }
+
+// RxCount returns receptions by node id.
+func (c *Collector) RxCount(id packet.NodeID) int { return c.nodes[id].rx }
+
+// TxByClass returns node id's transmissions of one class.
+func (c *Collector) TxByClass(id packet.NodeID, class packet.Class) int {
+	return c.nodes[id].txByClass[class]
+}
+
+// RxByClass returns node id's receptions of one class.
+func (c *Collector) RxByClass(id packet.NodeID, class packet.Class) int {
+	return c.nodes[id].rxByClass[class]
+}
+
+// Collisions returns frames lost to collisions at node id.
+func (c *Collector) Collisions(id packet.NodeID) int { return c.nodes[id].collided }
+
+// GotCodeAt returns node id's completion time and whether it completed.
+func (c *Collector) GotCodeAt(id packet.NodeID) (time.Duration, bool) {
+	st := &c.nodes[id]
+	return st.gotCodeAt, st.completed
+}
+
+// SegmentTime returns when node id completed segment seg.
+func (c *Collector) SegmentTime(id packet.NodeID, seg int) (time.Duration, bool) {
+	d, ok := c.nodes[id].segTimes[seg]
+	return d, ok
+}
+
+// Parent returns the parent node id had when it completed (the arrow
+// drawn in the paper's Figures 5–7).
+func (c *Collector) Parent(id packet.NodeID) (packet.NodeID, bool) {
+	st := &c.nodes[id]
+	if st.hasParentAtDone {
+		return st.parentAtDone, true
+	}
+	return st.parent, st.hasParent
+}
+
+// SenderOrder returns the distinct nodes in the order they first
+// became senders (the numbering in Figures 5–7).
+func (c *Collector) SenderOrder() []packet.NodeID {
+	seen := make(map[packet.NodeID]bool, len(c.senders))
+	var order []packet.NodeID
+	for _, ev := range c.senders {
+		if !seen[ev.Node] {
+			seen[ev.Node] = true
+			order = append(order, ev.Node)
+		}
+	}
+	return order
+}
+
+// SenderEvents returns every became-sender event in time order.
+func (c *Collector) SenderEvents() []SenderEvent {
+	out := make([]SenderEvent, len(c.senders))
+	copy(out, c.senders)
+	return out
+}
+
+// ConcurrencyViolations returns how many data transmissions started
+// while another data transmission was in flight within
+// NeighborhoodRange of the new sender.
+func (c *Collector) ConcurrencyViolations() int { return c.violations }
+
+// WindowCounts returns the per-minute transmission counts for a class,
+// as a dense series from minute 0 through the last active minute.
+func (c *Collector) WindowCounts(class packet.Class) []int {
+	maxMin := -1
+	for m := range c.windows {
+		if m > maxMin {
+			maxMin = m
+		}
+	}
+	out := make([]int, maxMin+1)
+	for m, w := range c.windows {
+		out[m] = w[class]
+	}
+	return out
+}
+
+// CompletionTimes returns every completed node's completion time in
+// ascending order.
+func (c *Collector) CompletionTimes() []time.Duration {
+	var out []time.Duration
+	for i := range c.nodes {
+		if c.nodes[i].completed {
+			out = append(out, c.nodes[i].gotCodeAt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CompletedFractionAt returns the fraction of nodes holding the full
+// program at time t (the propagation-progress curve of Figure 13).
+func (c *Collector) CompletedFractionAt(t time.Duration) float64 {
+	done := 0
+	for i := range c.nodes {
+		if c.nodes[i].completed && c.nodes[i].gotCodeAt <= t {
+			done++
+		}
+	}
+	return float64(done) / float64(len(c.nodes))
+}
+
+// MeanActiveRadioTime averages ActiveRadioTime over all nodes.
+func (c *Collector) MeanActiveRadioTime(until time.Duration) time.Duration {
+	if len(c.nodes) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for i := range c.nodes {
+		sum += c.ActiveRadioTime(packet.NodeID(i), 0, until)
+	}
+	return sum / time.Duration(len(c.nodes))
+}
+
+// MeanActiveRadioTimeAfterFirstAdv averages the Figure 9 variant:
+// radio-on time counted only after the node heard its first
+// advertisement.
+func (c *Collector) MeanActiveRadioTimeAfterFirstAdv(until time.Duration) time.Duration {
+	if len(c.nodes) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for i := range c.nodes {
+		id := packet.NodeID(i)
+		from, ok := c.FirstAdvertisementHeard(id)
+		if !ok {
+			from = 0
+		}
+		sum += c.ActiveRadioTime(id, from, until)
+	}
+	return sum / time.Duration(len(c.nodes))
+}

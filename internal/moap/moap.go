@@ -1,0 +1,386 @@
+// Package moap implements the MOAP baseline (Stathopoulos et al.):
+// multihop over-the-air programming with strictly hop-by-hop
+// dissemination — a node must hold the entire image before serving
+// others — a publish/subscribe handshake to limit concurrent senders,
+// unicast NAK repair, and a sliding window for loss bookkeeping. The
+// radio stays on throughout.
+package moap
+
+import (
+	"fmt"
+	"time"
+
+	"mnp/internal/image"
+	"mnp/internal/node"
+	"mnp/internal/packet"
+)
+
+// Timer IDs.
+const (
+	timerPublish node.TimerID = iota + 1
+	timerSubscribe
+	timerTxData
+	timerRxWatchdog
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// Base marks the seeding node.
+	Base bool
+	// Image is required at the base.
+	Image *image.Image
+	// DataInterval paces image transmission.
+	DataInterval time.Duration
+	// PublishInterval separates publish announcements.
+	PublishInterval time.Duration
+	// SubscribeDelayMax bounds the random delay before subscribing.
+	SubscribeDelayMax time.Duration
+	// RxTimeout bounds the wait for the next packet before NAKing.
+	RxTimeout time.Duration
+	// Window is the sliding-window size: packets more than Window ahead
+	// of the first missing packet are dropped (limited-RAM tracking).
+	Window int
+	// MaxNaks bounds consecutive unanswered NAKs before abandoning the
+	// transfer (a later publish restarts it).
+	MaxNaks int
+}
+
+// DefaultConfig returns the parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		DataInterval:      30 * time.Millisecond,
+		PublishInterval:   2 * time.Second,
+		SubscribeDelayMax: 500 * time.Millisecond,
+		RxTimeout:         2 * time.Second,
+		Window:            32,
+		MaxNaks:           8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.DataInterval == 0 {
+		c.DataInterval = d.DataInterval
+	}
+	if c.PublishInterval == 0 {
+		c.PublishInterval = d.PublishInterval
+	}
+	if c.SubscribeDelayMax == 0 {
+		c.SubscribeDelayMax = d.SubscribeDelayMax
+	}
+	if c.RxTimeout == 0 {
+		c.RxTimeout = d.RxTimeout
+	}
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+	if c.MaxNaks == 0 {
+		c.MaxNaks = d.MaxNaks
+	}
+	return c
+}
+
+// MOAP is one node's protocol instance.
+type MOAP struct {
+	cfg Config
+	rt  node.Runtime
+
+	programID uint8
+	total     int
+	nominal   int
+	complete  bool
+
+	// Receiver side.
+	have      []bool
+	haveCount int
+	fetching  bool
+	source    packet.NodeID
+	naks      int
+	subDue    bool
+	subTo     packet.NodeID
+
+	// Sender side.
+	serving  bool
+	nextSeq  int
+	resend   []uint16
+	heardPub time.Duration
+}
+
+var _ node.Protocol = (*MOAP)(nil)
+
+// New returns a MOAP instance.
+func New(cfg Config) *MOAP {
+	return &MOAP{cfg: cfg.withDefaults(), nominal: image.DefaultSegmentPackets}
+}
+
+// Complete reports whether this node holds the whole image.
+func (m *MOAP) Complete() bool { return m.complete }
+
+// Init implements node.Protocol.
+func (m *MOAP) Init(rt node.Runtime) {
+	m.rt = rt
+	rt.RadioOn() // MOAP keeps the radio on throughout
+	if !m.cfg.Base {
+		return
+	}
+	if m.cfg.Image == nil {
+		panic("moap: base station requires an image")
+	}
+	im := m.cfg.Image
+	m.programID = im.ProgramID()
+	m.total = im.TotalPackets()
+	for seq := 0; seq < m.total; seq++ {
+		payload, _ := im.FlatPayload(seq)
+		if err := rt.Store(seq/m.nominal+1, seq%m.nominal, payload); err != nil {
+			panic(fmt.Sprintf("moap: preloading base image: %v", err))
+		}
+	}
+	m.becomeSource()
+}
+
+func (m *MOAP) becomeSource() {
+	m.complete = true
+	m.rt.Complete()
+	m.schedulePublish()
+}
+
+func (m *MOAP) schedulePublish() {
+	jitter := time.Duration(m.rt.Rand().Int63n(int64(m.cfg.PublishInterval)))
+	m.rt.SetTimer(timerPublish, m.cfg.PublishInterval/2+jitter)
+}
+
+// OnTimer implements node.Protocol.
+func (m *MOAP) OnTimer(id node.TimerID) {
+	switch id {
+	case timerPublish:
+		m.publishTick()
+	case timerSubscribe:
+		m.sendSubscribe()
+	case timerTxData:
+		m.txTick()
+	case timerRxWatchdog:
+		m.rxWatchdog()
+	}
+}
+
+// OnPacket implements node.Protocol.
+func (m *MOAP) OnPacket(p packet.Packet, from packet.NodeID) {
+	switch pkt := p.(type) {
+	case *packet.MoapPublish:
+		m.onPublish(pkt)
+	case *packet.MoapSubscribe:
+		m.onSubscribe(pkt)
+	case *packet.MoapData:
+		m.onData(pkt)
+	case *packet.MoapNak:
+		m.onNak(pkt)
+	}
+}
+
+// --- sender side ---
+
+func (m *MOAP) publishTick() {
+	if !m.complete || m.serving {
+		return
+	}
+	// Link-local suppression: defer if a neighbor published recently.
+	if m.heardPub > 0 && m.rt.Now()-m.heardPub < m.cfg.PublishInterval {
+		m.schedulePublish()
+		return
+	}
+	_ = m.rt.Send(&packet.MoapPublish{
+		Src:       m.rt.ID(),
+		ProgramID: m.programID,
+		Version:   1,
+		Total:     uint16(m.total),
+	})
+	m.schedulePublish()
+}
+
+func (m *MOAP) onSubscribe(s *packet.MoapSubscribe) {
+	if !m.complete || s.DestID != m.rt.ID() || s.ProgramID != m.programID {
+		return
+	}
+	if m.serving {
+		return // current pass serves the new subscriber too
+	}
+	m.serving = true
+	m.nextSeq = 0
+	m.resend = nil
+	m.rt.CancelTimer(timerPublish)
+	m.rt.SetTimer(timerTxData, m.cfg.DataInterval)
+}
+
+func (m *MOAP) txTick() {
+	if !m.serving {
+		return
+	}
+	var seq int
+	switch {
+	case len(m.resend) > 0:
+		// Repair traffic has priority: NAKs mean the window stalled.
+		seq = int(m.resend[0])
+		m.resend = m.resend[1:]
+	case m.nextSeq < m.total:
+		seq = m.nextSeq
+		m.nextSeq++
+	default:
+		// Pass complete; linger in a short repair window via NAKs, then
+		// resume publishing for further subscribers.
+		m.serving = false
+		m.schedulePublish()
+		return
+	}
+	payload := m.rt.Load(seq/m.nominal+1, seq%m.nominal)
+	if payload != nil {
+		_ = m.rt.Send(&packet.MoapData{
+			Src:       m.rt.ID(),
+			ProgramID: m.programID,
+			Seq:       uint16(seq),
+			Total:     uint16(m.total),
+			Payload:   payload,
+		})
+	}
+	m.rt.SetTimer(timerTxData, m.cfg.DataInterval)
+}
+
+func (m *MOAP) onNak(n *packet.MoapNak) {
+	if !m.complete || n.DestID != m.rt.ID() || n.ProgramID != m.programID {
+		return
+	}
+	if int(n.Seq) >= m.total {
+		return
+	}
+	for _, r := range m.resend {
+		if r == n.Seq {
+			return
+		}
+	}
+	m.resend = append(m.resend, n.Seq)
+	if !m.serving {
+		// Post-pass repair: reopen the data pump just for the repairs.
+		m.serving = true
+		m.nextSeq = m.total
+		m.rt.CancelTimer(timerPublish)
+		m.rt.SetTimer(timerTxData, m.cfg.DataInterval)
+	}
+}
+
+// --- receiver side ---
+
+func (m *MOAP) onPublish(p *packet.MoapPublish) {
+	if m.complete {
+		m.heardPub = m.rt.Now() // suppression among publishers
+		return
+	}
+	if m.have == nil {
+		if p.Total == 0 {
+			return
+		}
+		m.programID = p.ProgramID
+		m.total = int(p.Total)
+		m.have = make([]bool, m.total)
+	}
+	if p.ProgramID != m.programID || m.fetching || m.subDue {
+		return
+	}
+	m.subDue = true
+	m.subTo = p.Src
+	delay := time.Duration(m.rt.Rand().Int63n(int64(m.cfg.SubscribeDelayMax)))
+	m.rt.SetTimer(timerSubscribe, delay)
+}
+
+func (m *MOAP) sendSubscribe() {
+	if !m.subDue || m.complete {
+		m.subDue = false
+		return
+	}
+	m.subDue = false
+	_ = m.rt.Send(&packet.MoapSubscribe{
+		Src:       m.rt.ID(),
+		DestID:    m.subTo,
+		ProgramID: m.programID,
+	})
+	m.fetching = true
+	m.source = m.subTo
+	m.naks = 0
+	m.rt.SetTimer(timerRxWatchdog, m.cfg.RxTimeout)
+}
+
+func (m *MOAP) firstMissing() int {
+	for seq, ok := range m.have {
+		if !ok {
+			return seq
+		}
+	}
+	return -1
+}
+
+func (m *MOAP) onData(d *packet.MoapData) {
+	if m.complete {
+		return
+	}
+	if m.have == nil {
+		if d.Total == 0 {
+			return
+		}
+		m.programID = d.ProgramID
+		m.total = int(d.Total)
+		m.have = make([]bool, m.total)
+	}
+	if d.ProgramID != m.programID {
+		return
+	}
+	seq := int(d.Seq)
+	if seq >= m.total || m.have[seq] {
+		return
+	}
+	first := m.firstMissing()
+	if first >= 0 && seq >= first+m.cfg.Window {
+		// Outside the sliding window: cannot track it; demand the
+		// window head instead.
+		m.nakFirstMissing()
+		return
+	}
+	if err := m.rt.Store(seq/m.nominal+1, seq%m.nominal, d.Payload); err != nil {
+		return
+	}
+	m.have[seq] = true
+	m.haveCount++
+	m.naks = 0
+	if m.fetching {
+		m.rt.SetTimer(timerRxWatchdog, m.cfg.RxTimeout)
+	}
+	if m.haveCount == m.total {
+		m.fetching = false
+		m.rt.CancelTimer(timerRxWatchdog)
+		m.becomeSource() // hop-by-hop: now a publisher
+	}
+}
+
+func (m *MOAP) rxWatchdog() {
+	if !m.fetching || m.complete {
+		return
+	}
+	if m.naks >= m.cfg.MaxNaks {
+		// Give up; the next publish restarts the handshake.
+		m.fetching = false
+		return
+	}
+	m.nakFirstMissing()
+	m.rt.SetTimer(timerRxWatchdog, m.cfg.RxTimeout)
+}
+
+func (m *MOAP) nakFirstMissing() {
+	first := m.firstMissing()
+	if first < 0 {
+		return
+	}
+	m.naks++
+	_ = m.rt.Send(&packet.MoapNak{
+		Src:       m.rt.ID(),
+		DestID:    m.source,
+		ProgramID: m.programID,
+		Seq:       uint16(first),
+	})
+}

@@ -1,0 +1,95 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"mnp/internal/packet"
+	"mnp/internal/radio"
+	"mnp/internal/sim"
+	"mnp/internal/topology"
+)
+
+// Network assembles one node per layout position and runs them against
+// a shared medium.
+type Network struct {
+	Kernel *sim.Kernel
+	Medium *radio.Medium
+	Layout *topology.Layout
+	Nodes  []*Node
+}
+
+// Factory produces the protocol instance and harness config for node
+// id. The base station typically gets a source-role protocol.
+type Factory func(id packet.NodeID) (Protocol, Config)
+
+// NewNetwork builds all nodes. Protocols are not started until Start.
+func NewNetwork(k *sim.Kernel, m *radio.Medium, layout *topology.Layout, f Factory, obs Observer) (*Network, error) {
+	if f == nil {
+		return nil, fmt.Errorf("node: nil factory")
+	}
+	nw := &Network{Kernel: k, Medium: m, Layout: layout}
+	for i := 0; i < layout.N(); i++ {
+		id := packet.NodeID(i)
+		proto, cfg := f(id)
+		n, err := New(id, k, m, proto, cfg, obs)
+		if err != nil {
+			return nil, fmt.Errorf("node %v: %w", id, err)
+		}
+		nw.Nodes = append(nw.Nodes, n)
+	}
+	return nw, nil
+}
+
+// Start initializes every node's protocol in ID order.
+func (nw *Network) Start() {
+	for _, n := range nw.Nodes {
+		n.Start()
+	}
+}
+
+// Node returns the node with the given ID.
+func (nw *Network) Node(id packet.NodeID) *Node { return nw.Nodes[id] }
+
+// CompletedCount returns how many nodes hold the full program.
+func (nw *Network) CompletedCount() int {
+	c := 0
+	for _, n := range nw.Nodes {
+		if n.Completed() {
+			c++
+		}
+	}
+	return c
+}
+
+// AllCompleted reports whether every live node holds the full program
+// (dead nodes are excluded: the paper requires coverage of the
+// connected network).
+func (nw *Network) AllCompleted() bool {
+	for _, n := range nw.Nodes {
+		if !n.Dead() && !n.Completed() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilComplete drives the simulation until every live node
+// completes or limit passes; it reports whether full coverage was
+// reached.
+func (nw *Network) RunUntilComplete(limit time.Duration) bool {
+	return nw.Kernel.RunUntil(nw.AllCompleted, limit)
+}
+
+// CompletionTime returns the time the last node completed — the
+// paper's "completion time" metric. It is only meaningful when
+// AllCompleted is true.
+func (nw *Network) CompletionTime() time.Duration {
+	var maxT time.Duration
+	for _, n := range nw.Nodes {
+		if n.Completed() && n.CompletedAt() > maxT {
+			maxT = n.CompletedAt()
+		}
+	}
+	return maxT
+}

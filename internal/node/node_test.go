@@ -1,0 +1,398 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"mnp/internal/packet"
+	"mnp/internal/radio"
+	"mnp/internal/sim"
+	"mnp/internal/topology"
+)
+
+// echoProto records everything delivered to it and exposes its runtime.
+type echoProto struct {
+	rt      Runtime
+	packets []packet.Packet
+	froms   []packet.NodeID
+	timers  []TimerID
+}
+
+func (p *echoProto) Init(rt Runtime) { p.rt = rt }
+func (p *echoProto) OnPacket(pk packet.Packet, f packet.NodeID) {
+	p.packets = append(p.packets, pk)
+	p.froms = append(p.froms, f)
+}
+func (p *echoProto) OnTimer(id TimerID) { p.timers = append(p.timers, id) }
+
+type recordingObserver struct {
+	events  []Event
+	radioOn []bool
+	writes  int
+	reads   int
+}
+
+func (o *recordingObserver) NodeEvent(_ packet.NodeID, _ time.Duration, ev Event) {
+	o.events = append(o.events, ev)
+}
+func (o *recordingObserver) RadioState(_ packet.NodeID, _ time.Duration, on bool) {
+	o.radioOn = append(o.radioOn, on)
+}
+func (o *recordingObserver) StorageOp(_ packet.NodeID, write bool, _ int) {
+	if write {
+		o.writes++
+	} else {
+		o.reads++
+	}
+}
+
+func cleanRadio() radio.Params {
+	p := radio.DefaultParams()
+	p.BERFloor = 1e-12
+	p.BERCeil = 1e-11
+	p.AsymSigma = 0
+	return p
+}
+
+type rig struct {
+	k      *sim.Kernel
+	m      *radio.Medium
+	nodes  []*Node
+	protos []*echoProto
+	obs    *recordingObserver
+}
+
+func newRig(t *testing.T, count int, spacing float64) *rig {
+	t.Helper()
+	k := sim.New(1)
+	l, err := topology.Line(count, spacing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := radio.NewMedium(k, l, cleanRadio(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{k: k, m: m, obs: &recordingObserver{}}
+	for i := 0; i < count; i++ {
+		p := &echoProto{}
+		n, err := New(packet.NodeID(i), k, m, p, Config{TxPower: radio.PowerSim}, r.obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Start()
+		r.nodes = append(r.nodes, n)
+		r.protos = append(r.protos, p)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	k := sim.New(1)
+	l, _ := topology.Line(2, 10)
+	m, _ := radio.NewMedium(k, l, cleanRadio(), 1)
+	if _, err := New(0, nil, m, &echoProto{}, Config{}, nil); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := New(0, k, nil, &echoProto{}, Config{}, nil); err == nil {
+		t.Error("nil medium accepted")
+	}
+	if _, err := New(0, k, m, nil, Config{}, nil); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	if _, err := New(99, k, m, &echoProto{}, Config{}, nil); err == nil {
+		t.Error("out-of-layout id accepted")
+	}
+}
+
+func TestSendDeliversToNeighbor(t *testing.T) {
+	r := newRig(t, 2, 10)
+	r.nodes[0].RadioOn()
+	r.nodes[1].RadioOn()
+	if err := r.nodes[0].Send(&packet.Query{Src: 0, ProgramID: 1, SegID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(time.Second)
+	if len(r.protos[1].packets) != 1 {
+		t.Fatalf("neighbor got %d packets, want 1", len(r.protos[1].packets))
+	}
+	if r.protos[1].froms[0] != 0 {
+		t.Fatalf("from = %v", r.protos[1].froms[0])
+	}
+}
+
+func TestQueueDrainsInOrder(t *testing.T) {
+	r := newRig(t, 2, 10)
+	r.nodes[0].RadioOn()
+	r.nodes[1].RadioOn()
+	for i := 0; i < 5; i++ {
+		err := r.nodes[0].Send(&packet.Data{Src: 0, ProgramID: 1, SegID: 1, PacketID: uint8(i), Payload: []byte{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.nodes[0].QueueLen() != 5 {
+		t.Fatalf("QueueLen = %d", r.nodes[0].QueueLen())
+	}
+	r.k.Run(time.Minute)
+	if got := len(r.protos[1].packets); got != 5 {
+		t.Fatalf("delivered %d, want 5", got)
+	}
+	for i, p := range r.protos[1].packets {
+		d := p.(*packet.Data)
+		if int(d.PacketID) != i {
+			t.Fatalf("out of order: got packet %d at position %d", d.PacketID, i)
+		}
+	}
+	if r.nodes[0].QueueLen() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestQueueCapEnforced(t *testing.T) {
+	r := newRig(t, 2, 10)
+	r.nodes[0].RadioOn()
+	var err error
+	for i := 0; i < DefaultQueueCap+1; i++ {
+		err = r.nodes[0].Send(&packet.Query{Src: 0, ProgramID: 1, SegID: 1})
+	}
+	if err == nil {
+		t.Fatal("queue overfill accepted")
+	}
+}
+
+func TestRadioOffPausesQueueAndOnResumes(t *testing.T) {
+	r := newRig(t, 2, 10)
+	r.nodes[1].RadioOn()
+	// Radio off: Send queues but nothing flows.
+	if err := r.nodes[0].Send(&packet.Query{Src: 0, ProgramID: 1, SegID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(time.Second)
+	if len(r.protos[1].packets) != 0 {
+		t.Fatal("frame escaped a radio-off node")
+	}
+	// Radio on resumes the queued frame.
+	r.nodes[0].RadioOn()
+	r.k.Run(2 * time.Second)
+	if len(r.protos[1].packets) != 1 {
+		t.Fatalf("queued frame not sent after RadioOn: %d", len(r.protos[1].packets))
+	}
+}
+
+func TestTimersFireReplaceAndCancel(t *testing.T) {
+	r := newRig(t, 1, 10)
+	rt := r.nodes[0]
+	rt.SetTimer(1, 10*time.Millisecond)
+	rt.SetTimer(2, 20*time.Millisecond)
+	rt.SetTimer(1, 50*time.Millisecond) // replaces the first
+	rt.SetTimer(3, 5*time.Millisecond)
+	rt.CancelTimer(3)
+	if rt.TimerPending(3) {
+		t.Fatal("cancelled timer pending")
+	}
+	if !rt.TimerPending(1) || !rt.TimerPending(2) {
+		t.Fatal("timers not pending")
+	}
+	r.k.Run(time.Second)
+	got := r.protos[0].timers
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("timer firings = %v, want [2 1]", got)
+	}
+	if rt.TimerPending(1) {
+		t.Fatal("fired timer still pending")
+	}
+}
+
+func TestKillSilencesNode(t *testing.T) {
+	r := newRig(t, 2, 10)
+	r.nodes[0].RadioOn()
+	r.nodes[1].RadioOn()
+	r.nodes[0].SetTimer(1, 10*time.Millisecond)
+	r.nodes[0].Kill()
+	if !r.nodes[0].Dead() {
+		t.Fatal("Dead = false")
+	}
+	if err := r.nodes[0].Send(&packet.Query{Src: 0, ProgramID: 1, SegID: 1}); err == nil {
+		t.Fatal("dead node accepted Send")
+	}
+	r.nodes[0].SetTimer(2, time.Millisecond)
+	r.k.Run(time.Second)
+	if len(r.protos[0].timers) != 0 {
+		t.Fatal("dead node's timer fired")
+	}
+	// Dead node receives nothing.
+	if err := r.nodes[1].Send(&packet.Query{Src: 1, ProgramID: 1, SegID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(2 * time.Second)
+	if len(r.protos[0].packets) != 0 {
+		t.Fatal("dead node received a packet")
+	}
+	// RadioOn after death is ignored.
+	r.nodes[0].RadioOn()
+	if r.nodes[0].IsRadioOn() {
+		t.Fatal("dead node's radio turned on")
+	}
+}
+
+func TestStorageRoundTripAndObserver(t *testing.T) {
+	r := newRig(t, 1, 10)
+	n := r.nodes[0]
+	if n.HasPacket(1, 0) {
+		t.Fatal("fresh store has packet")
+	}
+	if err := n.Store(1, 0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !n.HasPacket(1, 0) {
+		t.Fatal("stored packet missing")
+	}
+	if got := n.Load(1, 0); len(got) != 3 {
+		t.Fatalf("Load = %v", got)
+	}
+	if n.Load(5, 5) != nil {
+		t.Fatal("empty slot loaded data")
+	}
+	if r.obs.writes != 1 || r.obs.reads != 1 {
+		t.Fatalf("observer counts: writes=%d reads=%d", r.obs.writes, r.obs.reads)
+	}
+	n.EraseStore()
+	if n.HasPacket(1, 0) {
+		t.Fatal("erase did not clear store")
+	}
+}
+
+func TestCompleteOnceAndEvents(t *testing.T) {
+	r := newRig(t, 1, 10)
+	n := r.nodes[0]
+	n.Complete()
+	at := n.CompletedAt()
+	n.Complete() // idempotent
+	if !n.Completed() || n.CompletedAt() != at {
+		t.Fatal("Complete not idempotent")
+	}
+	n.Event(Event{Kind: EventBecameSender, Seg: 2})
+	found := 0
+	for _, ev := range r.obs.events {
+		switch ev.Kind {
+		case EventGotCode:
+			found++
+		case EventBecameSender:
+			if ev.Seg == 2 {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("observer missing events: %v", r.obs.events)
+	}
+}
+
+func TestTxPowerAndBattery(t *testing.T) {
+	r := newRig(t, 1, 10)
+	n := r.nodes[0]
+	if n.TxPower() != radio.PowerSim {
+		t.Fatalf("TxPower = %d", n.TxPower())
+	}
+	n.SetTxPower(radio.PowerFull)
+	if n.TxPower() != radio.PowerFull {
+		t.Fatal("SetTxPower ignored")
+	}
+	if n.Battery() != 1.0 {
+		t.Fatalf("Battery = %v", n.Battery())
+	}
+	n.SetBattery(0.3)
+	if n.Battery() != 0.3 {
+		t.Fatal("SetBattery ignored")
+	}
+}
+
+func TestRadioStateObserved(t *testing.T) {
+	r := newRig(t, 1, 10)
+	n := r.nodes[0]
+	n.RadioOn()
+	n.RadioOn() // idempotent: only one observation
+	n.RadioOff()
+	n.RadioOff()
+	want := []bool{true, false}
+	if len(r.obs.radioOn) != len(want) {
+		t.Fatalf("radio transitions = %v", r.obs.radioOn)
+	}
+	for i := range want {
+		if r.obs.radioOn[i] != want[i] {
+			t.Fatalf("radio transitions = %v", r.obs.radioOn)
+		}
+	}
+}
+
+func TestCSMADefersOnBusyChannel(t *testing.T) {
+	// Two in-range nodes each queue 5 frames to a common receiver over
+	// a clean channel. Carrier sense must interleave them with few or
+	// no collisions: nearly all 10 frames arrive.
+	r := newRig(t, 3, 10)
+	for _, n := range r.nodes {
+		n.RadioOn()
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.nodes[0].Send(&packet.Data{Src: 0, ProgramID: 1, SegID: 1, PacketID: uint8(i), Payload: []byte{0}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.nodes[2].Send(&packet.Data{Src: 2, ProgramID: 1, SegID: 1, PacketID: uint8(i), Payload: []byte{2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.k.Run(time.Minute)
+	got := len(r.protos[1].packets)
+	if got < 8 {
+		t.Fatalf("middle node received %d/10 frames; CSMA not deferring", got)
+	}
+}
+
+func TestNetworkLifecycle(t *testing.T) {
+	k := sim.New(1)
+	l, err := topology.Line(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := radio.NewMedium(k, l, cleanRadio(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := map[packet.NodeID]*echoProto{}
+	nw, err := NewNetwork(k, m, l, func(id packet.NodeID) (Protocol, Config) {
+		p := &echoProto{}
+		protos[id] = p
+		return p, Config{TxPower: radio.PowerSim}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	for id, p := range protos {
+		if p.rt == nil {
+			t.Fatalf("node %v not initialized", id)
+		}
+	}
+	if nw.CompletedCount() != 0 || nw.AllCompleted() {
+		t.Fatal("fresh network reports completion")
+	}
+	nw.Node(0).Complete()
+	nw.Node(1).Complete()
+	nw.Node(2).Kill() // dead nodes don't block coverage
+	if !nw.AllCompleted() {
+		t.Fatal("AllCompleted false with all live nodes done")
+	}
+	if nw.CompletedCount() != 2 {
+		t.Fatalf("CompletedCount = %d", nw.CompletedCount())
+	}
+	if nw.CompletionTime() != nw.Node(1).CompletedAt() && nw.CompletionTime() != nw.Node(0).CompletedAt() {
+		t.Fatal("CompletionTime not max of completions")
+	}
+	if !nw.RunUntilComplete(time.Second) {
+		t.Fatal("RunUntilComplete false when already complete")
+	}
+	if _, err := NewNetwork(k, m, l, nil, nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}

@@ -1,0 +1,379 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mnp/internal/bitvec"
+)
+
+// DelugeAdv is Deluge's Trickle-suppressed advertisement: the version
+// of the image the node knows about and the number of complete pages
+// it holds. Neighbors with fewer pages request the next page.
+type DelugeAdv struct {
+	Src          NodeID
+	ProgramID    uint8
+	Version      uint8
+	NumPages     uint8  // total pages in the image
+	HavePages    uint8  // pages Src holds completely
+	PagePackets  uint8  // packets per full page
+	TotalPackets uint16 // packets in the whole image
+}
+
+// Kind implements Packet.
+func (*DelugeAdv) Kind() Kind { return KindDelugeAdv }
+
+// Dest implements Packet.
+func (*DelugeAdv) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (a *DelugeAdv) Source() NodeID { return a.Src }
+
+func (a *DelugeAdv) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(a.Src))
+	b = append(b, a.ProgramID, a.Version, a.NumPages, a.HavePages, a.PagePackets)
+	return binary.BigEndian.AppendUint16(b, a.TotalPackets)
+}
+
+func (a *DelugeAdv) decodePayload(b []byte) error {
+	if len(b) != 9 {
+		return fmt.Errorf("deluge adv payload %d bytes, want 9", len(b))
+	}
+	a.Src = NodeID(binary.BigEndian.Uint16(b))
+	a.ProgramID, a.Version, a.NumPages, a.HavePages, a.PagePackets = b[2], b[3], b[4], b[5], b[6]
+	a.TotalPackets = binary.BigEndian.Uint16(b[7:])
+	return nil
+}
+
+// DelugeReq asks DestID to transmit the packets of Page marked in
+// Missing.
+type DelugeReq struct {
+	Src         NodeID
+	DestID      NodeID
+	ProgramID   uint8
+	Page        uint8
+	PagePackets uint8
+	Missing     *bitvec.Vector
+}
+
+// Kind implements Packet.
+func (*DelugeReq) Kind() Kind { return KindDelugeReq }
+
+// Dest implements Packet.
+func (r *DelugeReq) Dest() NodeID { return r.DestID }
+
+// Source implements Packet.
+func (r *DelugeReq) Source() NodeID { return r.Src }
+
+func (r *DelugeReq) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(r.Src))
+	b = binary.BigEndian.AppendUint16(b, uint16(r.DestID))
+	b = append(b, r.ProgramID, r.Page, r.PagePackets)
+	if r.Missing != nil {
+		b = append(b, r.Missing.Bytes()...)
+	}
+	return b
+}
+
+func (r *DelugeReq) decodePayload(b []byte) error {
+	if len(b) < 7 {
+		return fmt.Errorf("deluge req payload %d bytes, want >= 7", len(b))
+	}
+	r.Src = NodeID(binary.BigEndian.Uint16(b))
+	r.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
+	r.ProgramID, r.Page, r.PagePackets = b[4], b[5], b[6]
+	rest := b[7:]
+	if len(rest) == 0 {
+		r.Missing = nil
+		return nil
+	}
+	v, err := bitvec.Decode(int(r.PagePackets), rest)
+	if err != nil {
+		return err
+	}
+	r.Missing = v
+	return nil
+}
+
+// DelugeData carries one packet of a Deluge page.
+type DelugeData struct {
+	Src       NodeID
+	ProgramID uint8
+	Page      uint8
+	PacketID  uint8
+	Payload   []byte
+}
+
+// Kind implements Packet.
+func (*DelugeData) Kind() Kind { return KindDelugeData }
+
+// Dest implements Packet.
+func (*DelugeData) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (d *DelugeData) Source() NodeID { return d.Src }
+
+func (d *DelugeData) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(d.Src))
+	b = append(b, d.ProgramID, d.Page, d.PacketID)
+	return append(b, d.Payload...)
+}
+
+func (d *DelugeData) decodePayload(b []byte) error {
+	if len(b) < 5 {
+		return fmt.Errorf("deluge data payload %d bytes, want >= 5", len(b))
+	}
+	d.Src = NodeID(binary.BigEndian.Uint16(b))
+	d.ProgramID, d.Page, d.PacketID = b[2], b[3], b[4]
+	d.Payload = append([]byte(nil), b[5:]...)
+	return nil
+}
+
+// MoapPublish announces that Src holds the complete image (MOAP is
+// strictly hop-by-hop: only nodes with the whole image publish).
+type MoapPublish struct {
+	Src       NodeID
+	ProgramID uint8
+	Version   uint8
+	Total     uint16 // total packets in the image
+}
+
+// Kind implements Packet.
+func (*MoapPublish) Kind() Kind { return KindMoapPublish }
+
+// Dest implements Packet.
+func (*MoapPublish) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (p *MoapPublish) Source() NodeID { return p.Src }
+
+func (p *MoapPublish) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(p.Src))
+	b = append(b, p.ProgramID, p.Version)
+	return binary.BigEndian.AppendUint16(b, p.Total)
+}
+
+func (p *MoapPublish) decodePayload(b []byte) error {
+	if len(b) != 6 {
+		return fmt.Errorf("moap publish payload %d bytes, want 6", len(b))
+	}
+	p.Src = NodeID(binary.BigEndian.Uint16(b))
+	p.ProgramID, p.Version = b[2], b[3]
+	p.Total = binary.BigEndian.Uint16(b[4:])
+	return nil
+}
+
+// MoapSubscribe subscribes Src to DestID's transmission of the image.
+type MoapSubscribe struct {
+	Src       NodeID
+	DestID    NodeID
+	ProgramID uint8
+}
+
+// Kind implements Packet.
+func (*MoapSubscribe) Kind() Kind { return KindMoapSubscribe }
+
+// Dest implements Packet.
+func (s *MoapSubscribe) Dest() NodeID { return s.DestID }
+
+// Source implements Packet.
+func (s *MoapSubscribe) Source() NodeID { return s.Src }
+
+func (s *MoapSubscribe) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(s.Src))
+	b = binary.BigEndian.AppendUint16(b, uint16(s.DestID))
+	return append(b, s.ProgramID)
+}
+
+func (s *MoapSubscribe) decodePayload(b []byte) error {
+	if len(b) != 5 {
+		return fmt.Errorf("moap subscribe payload %d bytes, want 5", len(b))
+	}
+	s.Src = NodeID(binary.BigEndian.Uint16(b))
+	s.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
+	s.ProgramID = b[4]
+	return nil
+}
+
+// MoapData carries one packet of the whole image, identified by a flat
+// sequence number (MOAP has no segments).
+type MoapData struct {
+	Src       NodeID
+	ProgramID uint8
+	Seq       uint16
+	Total     uint16
+	Payload   []byte
+}
+
+// Kind implements Packet.
+func (*MoapData) Kind() Kind { return KindMoapData }
+
+// Dest implements Packet.
+func (*MoapData) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (d *MoapData) Source() NodeID { return d.Src }
+
+func (d *MoapData) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(d.Src))
+	b = append(b, d.ProgramID)
+	b = binary.BigEndian.AppendUint16(b, d.Seq)
+	b = binary.BigEndian.AppendUint16(b, d.Total)
+	return append(b, d.Payload...)
+}
+
+func (d *MoapData) decodePayload(b []byte) error {
+	if len(b) < 7 {
+		return fmt.Errorf("moap data payload %d bytes, want >= 7", len(b))
+	}
+	d.Src = NodeID(binary.BigEndian.Uint16(b))
+	d.ProgramID = b[2]
+	d.Seq = binary.BigEndian.Uint16(b[3:])
+	d.Total = binary.BigEndian.Uint16(b[5:])
+	d.Payload = append([]byte(nil), b[7:]...)
+	return nil
+}
+
+// MoapNak is a unicast retransmission request for the earliest packet
+// missing from Src's sliding window.
+type MoapNak struct {
+	Src       NodeID
+	DestID    NodeID
+	ProgramID uint8
+	Seq       uint16
+}
+
+// Kind implements Packet.
+func (*MoapNak) Kind() Kind { return KindMoapNak }
+
+// Dest implements Packet.
+func (n *MoapNak) Dest() NodeID { return n.DestID }
+
+// Source implements Packet.
+func (n *MoapNak) Source() NodeID { return n.Src }
+
+func (n *MoapNak) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(n.Src))
+	b = binary.BigEndian.AppendUint16(b, uint16(n.DestID))
+	b = append(b, n.ProgramID)
+	return binary.BigEndian.AppendUint16(b, n.Seq)
+}
+
+func (n *MoapNak) decodePayload(b []byte) error {
+	if len(b) != 7 {
+		return fmt.Errorf("moap nak payload %d bytes, want 7", len(b))
+	}
+	n.Src = NodeID(binary.BigEndian.Uint16(b))
+	n.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
+	n.ProgramID = b[4]
+	n.Seq = binary.BigEndian.Uint16(b[5:])
+	return nil
+}
+
+// XnpData carries one packet of the image from the base station in
+// XNP's single-hop broadcast.
+type XnpData struct {
+	Src       NodeID
+	ProgramID uint8
+	Seq       uint16
+	Total     uint16
+	Payload   []byte
+}
+
+// Kind implements Packet.
+func (*XnpData) Kind() Kind { return KindXnpData }
+
+// Dest implements Packet.
+func (*XnpData) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (d *XnpData) Source() NodeID { return d.Src }
+
+func (d *XnpData) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(d.Src))
+	b = append(b, d.ProgramID)
+	b = binary.BigEndian.AppendUint16(b, d.Seq)
+	b = binary.BigEndian.AppendUint16(b, d.Total)
+	return append(b, d.Payload...)
+}
+
+func (d *XnpData) decodePayload(b []byte) error {
+	if len(b) < 7 {
+		return fmt.Errorf("xnp data payload %d bytes, want >= 7", len(b))
+	}
+	d.Src = NodeID(binary.BigEndian.Uint16(b))
+	d.ProgramID = b[2]
+	d.Seq = binary.BigEndian.Uint16(b[3:])
+	d.Total = binary.BigEndian.Uint16(b[5:])
+	d.Payload = append([]byte(nil), b[7:]...)
+	return nil
+}
+
+// XnpQueryStatus asks all single-hop receivers to report their first
+// missing packet so the base station can run a retransmission round.
+type XnpQueryStatus struct {
+	Src       NodeID
+	ProgramID uint8
+}
+
+// Kind implements Packet.
+func (*XnpQueryStatus) Kind() Kind { return KindXnpQueryStatus }
+
+// Dest implements Packet.
+func (*XnpQueryStatus) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (q *XnpQueryStatus) Source() NodeID { return q.Src }
+
+func (q *XnpQueryStatus) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(q.Src))
+	return append(b, q.ProgramID)
+}
+
+func (q *XnpQueryStatus) decodePayload(b []byte) error {
+	if len(b) != 3 {
+		return fmt.Errorf("xnp query payload %d bytes, want 3", len(b))
+	}
+	q.Src = NodeID(binary.BigEndian.Uint16(b))
+	q.ProgramID = b[2]
+	return nil
+}
+
+// XnpStatusComplete is the Seq value reporting "nothing missing".
+const XnpStatusComplete uint16 = 0xFFFF
+
+// XnpStatus reports the first packet Src is missing (or
+// XnpStatusComplete).
+type XnpStatus struct {
+	Src       NodeID
+	DestID    NodeID
+	ProgramID uint8
+	Seq       uint16
+}
+
+// Kind implements Packet.
+func (*XnpStatus) Kind() Kind { return KindXnpStatus }
+
+// Dest implements Packet.
+func (s *XnpStatus) Dest() NodeID { return s.DestID }
+
+// Source implements Packet.
+func (s *XnpStatus) Source() NodeID { return s.Src }
+
+func (s *XnpStatus) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(s.Src))
+	b = binary.BigEndian.AppendUint16(b, uint16(s.DestID))
+	b = append(b, s.ProgramID)
+	return binary.BigEndian.AppendUint16(b, s.Seq)
+}
+
+func (s *XnpStatus) decodePayload(b []byte) error {
+	if len(b) != 7 {
+		return fmt.Errorf("xnp status payload %d bytes, want 7", len(b))
+	}
+	s.Src = NodeID(binary.BigEndian.Uint16(b))
+	s.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
+	s.ProgramID = b[4]
+	s.Seq = binary.BigEndian.Uint16(b[5:])
+	return nil
+}

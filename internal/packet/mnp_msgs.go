@@ -1,0 +1,305 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mnp/internal/bitvec"
+)
+
+// Advertise announces that Src holds segment SegID of program
+// ProgramID and is competing to transmit it. ReqCtr is the number of
+// distinct requesters Src has accumulated this advertising round;
+// competing sources overhearing a higher ReqCtr concede and sleep.
+type Advertise struct {
+	Src             NodeID
+	ProgramID       uint8
+	ProgramSegments uint8  // total segments in the program
+	SegID           uint8  // segment being advertised (1-based)
+	SegNominal      uint8  // packets per full segment
+	TotalPackets    uint16 // packets in the whole program
+	ReqCtr          uint8
+}
+
+// Kind implements Packet.
+func (*Advertise) Kind() Kind { return KindAdvertise }
+
+// Dest implements Packet; advertisements are broadcast.
+func (*Advertise) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (a *Advertise) Source() NodeID { return a.Src }
+
+func (a *Advertise) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(a.Src))
+	b = append(b, a.ProgramID, a.ProgramSegments, a.SegID, a.SegNominal)
+	b = binary.BigEndian.AppendUint16(b, a.TotalPackets)
+	return append(b, a.ReqCtr)
+}
+
+func (a *Advertise) decodePayload(b []byte) error {
+	if len(b) != 9 {
+		return fmt.Errorf("advertise payload %d bytes, want 9", len(b))
+	}
+	a.Src = NodeID(binary.BigEndian.Uint16(b))
+	a.ProgramID, a.ProgramSegments, a.SegID, a.SegNominal = b[2], b[3], b[4], b[5]
+	a.TotalPackets = binary.BigEndian.Uint16(b[6:])
+	a.ReqCtr = b[8]
+	return nil
+}
+
+// DownloadRequest asks DestID to transmit segment SegID. It is sent as
+// a broadcast with the destination in a field, so third parties learn
+// both that DestID is a potential source and how many requesters it
+// has (EchoReqCtr) — the paper's answer to the hidden-terminal problem.
+// Missing carries the requester's MissingVector for the segment so the
+// source can fold it into its ForwardVector.
+type DownloadRequest struct {
+	Src        NodeID
+	DestID     NodeID
+	ProgramID  uint8
+	SegID      uint8
+	SegPackets uint8
+	EchoReqCtr uint8 // the ReqCtr value DestID advertised
+	Missing    *bitvec.Vector
+}
+
+// Kind implements Packet.
+func (*DownloadRequest) Kind() Kind { return KindDownloadRequest }
+
+// Dest implements Packet.
+func (r *DownloadRequest) Dest() NodeID { return r.DestID }
+
+// Source implements Packet.
+func (r *DownloadRequest) Source() NodeID { return r.Src }
+
+func (r *DownloadRequest) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(r.Src))
+	b = binary.BigEndian.AppendUint16(b, uint16(r.DestID))
+	b = append(b, r.ProgramID, r.SegID, r.SegPackets, r.EchoReqCtr)
+	if r.Missing != nil {
+		b = append(b, r.Missing.Bytes()...)
+	}
+	return b
+}
+
+func (r *DownloadRequest) decodePayload(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("download request payload %d bytes, want >= 8", len(b))
+	}
+	r.Src = NodeID(binary.BigEndian.Uint16(b))
+	r.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
+	r.ProgramID, r.SegID, r.SegPackets, r.EchoReqCtr = b[4], b[5], b[6], b[7]
+	rest := b[8:]
+	if len(rest) == 0 {
+		r.Missing = nil
+		return nil
+	}
+	v, err := bitvec.Decode(int(r.SegPackets), rest)
+	if err != nil {
+		return err
+	}
+	r.Missing = v
+	return nil
+}
+
+// StartDownload announces that Src won sender selection and is about
+// to stream segment SegID. Receivers expecting exactly this segment
+// enter the download state and adopt Src as their parent.
+type StartDownload struct {
+	Src        NodeID
+	ProgramID  uint8
+	SegID      uint8
+	SegPackets uint8
+}
+
+// Kind implements Packet.
+func (*StartDownload) Kind() Kind { return KindStartDownload }
+
+// Dest implements Packet.
+func (*StartDownload) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (s *StartDownload) Source() NodeID { return s.Src }
+
+func (s *StartDownload) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(s.Src))
+	return append(b, s.ProgramID, s.SegID, s.SegPackets)
+}
+
+func (s *StartDownload) decodePayload(b []byte) error {
+	if len(b) != 5 {
+		return fmt.Errorf("start download payload %d bytes, want 5", len(b))
+	}
+	s.Src = NodeID(binary.BigEndian.Uint16(b))
+	s.ProgramID, s.SegID, s.SegPackets = b[2], b[3], b[4]
+	return nil
+}
+
+// Data carries one code packet of a segment. Receivers accept Data
+// from any sender as long as the segment ID matches what they expect;
+// each packet has a unique (SegID, PacketID) identity, so arrival
+// order does not matter.
+type Data struct {
+	Src       NodeID
+	ProgramID uint8
+	SegID     uint8
+	PacketID  uint8
+	Payload   []byte
+}
+
+// Kind implements Packet.
+func (*Data) Kind() Kind { return KindData }
+
+// Dest implements Packet.
+func (*Data) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (d *Data) Source() NodeID { return d.Src }
+
+func (d *Data) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(d.Src))
+	b = append(b, d.ProgramID, d.SegID, d.PacketID)
+	return append(b, d.Payload...)
+}
+
+func (d *Data) decodePayload(b []byte) error {
+	if len(b) < 5 {
+		return fmt.Errorf("data payload %d bytes, want >= 5", len(b))
+	}
+	d.Src = NodeID(binary.BigEndian.Uint16(b))
+	d.ProgramID, d.SegID, d.PacketID = b[2], b[3], b[4]
+	d.Payload = append([]byte(nil), b[5:]...)
+	return nil
+}
+
+// EndDownload marks the end of a segment transmission by Src.
+// Receivers with a clean MissingVector advance; the rest enter the
+// repair path (query/update) or the fail state.
+type EndDownload struct {
+	Src       NodeID
+	ProgramID uint8
+	SegID     uint8
+}
+
+// Kind implements Packet.
+func (*EndDownload) Kind() Kind { return KindEndDownload }
+
+// Dest implements Packet.
+func (*EndDownload) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (e *EndDownload) Source() NodeID { return e.Src }
+
+func (e *EndDownload) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(e.Src))
+	return append(b, e.ProgramID, e.SegID)
+}
+
+func (e *EndDownload) decodePayload(b []byte) error {
+	if len(b) != 4 {
+		return fmt.Errorf("end download payload %d bytes, want 4", len(b))
+	}
+	e.Src = NodeID(binary.BigEndian.Uint16(b))
+	e.ProgramID, e.SegID = b[2], b[3]
+	return nil
+}
+
+// Query opens the optional query/update phase: the parent asks its
+// children to report missing packets of SegID.
+type Query struct {
+	Src       NodeID
+	ProgramID uint8
+	SegID     uint8
+}
+
+// Kind implements Packet.
+func (*Query) Kind() Kind { return KindQuery }
+
+// Dest implements Packet.
+func (*Query) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (q *Query) Source() NodeID { return q.Src }
+
+func (q *Query) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(q.Src))
+	return append(b, q.ProgramID, q.SegID)
+}
+
+func (q *Query) decodePayload(b []byte) error {
+	if len(b) != 4 {
+		return fmt.Errorf("query payload %d bytes, want 4", len(b))
+	}
+	q.Src = NodeID(binary.BigEndian.Uint16(b))
+	q.ProgramID, q.SegID = b[2], b[3]
+	return nil
+}
+
+// RepairRequest asks the parent (DestID) to retransmit one missing
+// packet during the query/update phase. The child walks its
+// MissingVector one packet at a time, matching the paper's state
+// machine ("store the packet and request for the next missing packet").
+type RepairRequest struct {
+	Src       NodeID
+	DestID    NodeID
+	ProgramID uint8
+	SegID     uint8
+	PacketID  uint8
+}
+
+// Kind implements Packet.
+func (*RepairRequest) Kind() Kind { return KindRepairRequest }
+
+// Dest implements Packet.
+func (r *RepairRequest) Dest() NodeID { return r.DestID }
+
+// Source implements Packet.
+func (r *RepairRequest) Source() NodeID { return r.Src }
+
+func (r *RepairRequest) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(r.Src))
+	b = binary.BigEndian.AppendUint16(b, uint16(r.DestID))
+	return append(b, r.ProgramID, r.SegID, r.PacketID)
+}
+
+func (r *RepairRequest) decodePayload(b []byte) error {
+	if len(b) != 7 {
+		return fmt.Errorf("repair request payload %d bytes, want 7", len(b))
+	}
+	r.Src = NodeID(binary.BigEndian.Uint16(b))
+	r.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
+	r.ProgramID, r.SegID, r.PacketID = b[4], b[5], b[6]
+	return nil
+}
+
+// StartSignal is the external reboot command. The paper deliberately
+// does not reboot nodes on local estimation; the base station floods
+// this signal once empirical data says dissemination has finished.
+type StartSignal struct {
+	Src       NodeID
+	ProgramID uint8
+}
+
+// Kind implements Packet.
+func (*StartSignal) Kind() Kind { return KindStartSignal }
+
+// Dest implements Packet.
+func (*StartSignal) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (s *StartSignal) Source() NodeID { return s.Src }
+
+func (s *StartSignal) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(s.Src))
+	return append(b, s.ProgramID)
+}
+
+func (s *StartSignal) decodePayload(b []byte) error {
+	if len(b) != 3 {
+		return fmt.Errorf("start signal payload %d bytes, want 3", len(b))
+	}
+	s.Src = NodeID(binary.BigEndian.Uint16(b))
+	s.ProgramID = b[2]
+	return nil
+}

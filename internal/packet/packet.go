@@ -1,0 +1,256 @@
+// Package packet defines the wire messages exchanged by MNP and by the
+// baseline protocols (Deluge, MOAP, XNP), together with their binary
+// codecs and framing.
+//
+// The frame layout mirrors a TinyOS TOS_Msg: a fixed header (dest
+// address, AM type, group, length) followed by the payload and a CRC16.
+// All radio traffic is physically broadcast; "destined" messages carry
+// the destination in the header, and other nodes are free to snoop them
+// — MNP's hidden-terminal defence depends on exactly this overhearing.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// NodeID identifies a mote. IDs are assigned by the deployment; the
+// base station conventionally has ID 0.
+type NodeID uint16
+
+// Broadcast is the address that targets every node in radio range.
+const Broadcast NodeID = 0xFFFF
+
+// String renders a NodeID for logs.
+func (n NodeID) String() string {
+	if n == Broadcast {
+		return "bcast"
+	}
+	return fmt.Sprintf("n%d", uint16(n))
+}
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds. MNP kinds come first, then one block per baseline.
+const (
+	// MNP messages (paper §3).
+	KindAdvertise Kind = iota + 1
+	KindDownloadRequest
+	KindStartDownload
+	KindData
+	KindEndDownload
+	KindQuery
+	KindRepairRequest
+	KindStartSignal
+
+	// Deluge baseline.
+	KindDelugeAdv
+	KindDelugeReq
+	KindDelugeData
+
+	// MOAP baseline.
+	KindMoapPublish
+	KindMoapSubscribe
+	KindMoapData
+	KindMoapNak
+
+	// XNP baseline.
+	KindXnpData
+	KindXnpQueryStatus
+	KindXnpStatus
+)
+
+var kindNames = map[Kind]string{
+	KindAdvertise:       "Advertise",
+	KindDownloadRequest: "DownloadRequest",
+	KindStartDownload:   "StartDownload",
+	KindData:            "Data",
+	KindEndDownload:     "EndDownload",
+	KindQuery:           "Query",
+	KindRepairRequest:   "RepairRequest",
+	KindStartSignal:     "StartSignal",
+	KindDelugeAdv:       "DelugeAdv",
+	KindDelugeReq:       "DelugeReq",
+	KindDelugeData:      "DelugeData",
+	KindMoapPublish:     "MoapPublish",
+	KindMoapSubscribe:   "MoapSubscribe",
+	KindMoapData:        "MoapData",
+	KindMoapNak:         "MoapNak",
+	KindXnpData:         "XnpData",
+	KindXnpQueryStatus:  "XnpQueryStatus",
+	KindXnpStatus:       "XnpStatus",
+}
+
+// String returns the message-kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Class groups kinds into the three categories the paper's Figure 12
+// plots: advertisements, download requests, and data.
+type Class uint8
+
+// Traffic classes for accounting.
+const (
+	ClassControl Class = iota + 1 // handshakes, queries, signals
+	ClassAdvertisement
+	ClassRequest
+	ClassData
+)
+
+// ClassOf maps a kind to its accounting class.
+func ClassOf(k Kind) Class {
+	switch k {
+	case KindAdvertise, KindDelugeAdv, KindMoapPublish:
+		return ClassAdvertisement
+	case KindDownloadRequest, KindDelugeReq, KindMoapSubscribe, KindMoapNak, KindRepairRequest:
+		return ClassRequest
+	case KindData, KindDelugeData, KindMoapData, KindXnpData:
+		return ClassData
+	default:
+		return ClassControl
+	}
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassControl:
+		return "control"
+	case ClassAdvertisement:
+		return "advertisement"
+	case ClassRequest:
+		return "request"
+	case ClassData:
+		return "data"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// FrameOverhead is the fixed per-frame cost in bytes: destination
+// address (2), AM type (1), group (1), length (1) and CRC (2), matching
+// the TOS_Msg header the Mica-2 radio stack uses.
+const FrameOverhead = 7
+
+// Packet is a decodable protocol message.
+type Packet interface {
+	// Kind identifies the message type.
+	Kind() Kind
+	// Dest is the logical destination; Broadcast for undirected
+	// messages. Physically every message is broadcast.
+	Dest() NodeID
+	// Source is the transmitting node, filled by the sender.
+	Source() NodeID
+	// appendPayload encodes the message body (excluding framing).
+	appendPayload(b []byte) []byte
+	// decodePayload parses the message body.
+	decodePayload(b []byte) error
+}
+
+// WireSize returns the number of bytes the packet occupies on air,
+// driving both airtime and energy accounting.
+func WireSize(p Packet) int {
+	return FrameOverhead + len(p.appendPayload(nil))
+}
+
+// Encode serializes p into a self-describing frame.
+func Encode(p Packet) []byte {
+	payload := p.appendPayload(nil)
+	out := make([]byte, 0, FrameOverhead+len(payload))
+	out = binary.BigEndian.AppendUint16(out, uint16(p.Dest()))
+	out = append(out, byte(p.Kind()))
+	out = append(out, 0x7d) // group, fixed
+	out = append(out, byte(len(payload)))
+	out = append(out, payload...)
+	out = binary.BigEndian.AppendUint16(out, crc16(out))
+	return out
+}
+
+// Decode parses a frame produced by Encode and returns the typed
+// message.
+func Decode(frame []byte) (Packet, error) {
+	if len(frame) < FrameOverhead {
+		return nil, fmt.Errorf("packet: frame too short (%d bytes)", len(frame))
+	}
+	body, crcBytes := frame[:len(frame)-2], frame[len(frame)-2:]
+	if got, want := binary.BigEndian.Uint16(crcBytes), crc16(body); got != want {
+		return nil, fmt.Errorf("packet: CRC mismatch (got %#04x, want %#04x)", got, want)
+	}
+	kind := Kind(frame[2])
+	plen := int(frame[4])
+	if len(frame) != FrameOverhead+plen {
+		return nil, fmt.Errorf("packet: length field %d disagrees with frame size %d", plen, len(frame))
+	}
+	p, err := newByKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.decodePayload(frame[5 : 5+plen]); err != nil {
+		return nil, fmt.Errorf("packet: decode %s: %w", kind, err)
+	}
+	return p, nil
+}
+
+func newByKind(k Kind) (Packet, error) {
+	switch k {
+	case KindAdvertise:
+		return &Advertise{}, nil
+	case KindDownloadRequest:
+		return &DownloadRequest{}, nil
+	case KindStartDownload:
+		return &StartDownload{}, nil
+	case KindData:
+		return &Data{}, nil
+	case KindEndDownload:
+		return &EndDownload{}, nil
+	case KindQuery:
+		return &Query{}, nil
+	case KindRepairRequest:
+		return &RepairRequest{}, nil
+	case KindStartSignal:
+		return &StartSignal{}, nil
+	case KindDelugeAdv:
+		return &DelugeAdv{}, nil
+	case KindDelugeReq:
+		return &DelugeReq{}, nil
+	case KindDelugeData:
+		return &DelugeData{}, nil
+	case KindMoapPublish:
+		return &MoapPublish{}, nil
+	case KindMoapSubscribe:
+		return &MoapSubscribe{}, nil
+	case KindMoapData:
+		return &MoapData{}, nil
+	case KindMoapNak:
+		return &MoapNak{}, nil
+	case KindXnpData:
+		return &XnpData{}, nil
+	case KindXnpQueryStatus:
+		return &XnpQueryStatus{}, nil
+	case KindXnpStatus:
+		return &XnpStatus{}, nil
+	default:
+		return nil, fmt.Errorf("packet: unknown kind %d", uint8(k))
+	}
+}
+
+// crc16 is the CCITT CRC the CC1000 stack uses over the frame body.
+func crc16(data []byte) uint16 {
+	var crc uint16 = 0xFFFF
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

@@ -1,0 +1,308 @@
+package packet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mnp/internal/bitvec"
+)
+
+func samplePackets() []Packet {
+	miss := bitvec.MustNew(128)
+	miss.Set(0)
+	miss.Set(77)
+	miss.Set(127)
+	pageMiss := bitvec.MustNew(48)
+	pageMiss.Set(3)
+	return []Packet{
+		&Advertise{Src: 7, ProgramID: 1, ProgramSegments: 10, SegID: 3, SegNominal: 128, TotalPackets: 1280, ReqCtr: 4},
+		&DownloadRequest{Src: 9, DestID: 7, ProgramID: 1, SegID: 3, SegPackets: 128, EchoReqCtr: 4, Missing: miss},
+		&DownloadRequest{Src: 9, DestID: 7, ProgramID: 1, SegID: 3, SegPackets: 128, EchoReqCtr: 4},
+		&StartDownload{Src: 7, ProgramID: 1, SegID: 3, SegPackets: 128},
+		&Data{Src: 7, ProgramID: 1, SegID: 3, PacketID: 77, Payload: bytes.Repeat([]byte{0xAB}, 22)},
+		&EndDownload{Src: 7, ProgramID: 1, SegID: 3},
+		&Query{Src: 7, ProgramID: 1, SegID: 3},
+		&RepairRequest{Src: 9, DestID: 7, ProgramID: 1, SegID: 3, PacketID: 12},
+		&StartSignal{Src: 0, ProgramID: 1},
+		&DelugeAdv{Src: 2, ProgramID: 1, Version: 2, NumPages: 12, HavePages: 5, PagePackets: 48, TotalPackets: 560},
+		&DelugeReq{Src: 3, DestID: 2, ProgramID: 1, Page: 5, PagePackets: 48, Missing: pageMiss},
+		&DelugeReq{Src: 3, DestID: 2, ProgramID: 1, Page: 5, PagePackets: 48},
+		&DelugeData{Src: 2, ProgramID: 1, Page: 5, PacketID: 3, Payload: bytes.Repeat([]byte{1}, 22)},
+		&MoapPublish{Src: 4, ProgramID: 1, Version: 2, Total: 640},
+		&MoapSubscribe{Src: 5, DestID: 4, ProgramID: 1},
+		&MoapData{Src: 4, ProgramID: 1, Seq: 639, Total: 640, Payload: bytes.Repeat([]byte{2}, 22)},
+		&MoapNak{Src: 5, DestID: 4, ProgramID: 1, Seq: 101},
+		&XnpData{Src: 0, ProgramID: 1, Seq: 10, Total: 640, Payload: bytes.Repeat([]byte{3}, 22)},
+		&XnpQueryStatus{Src: 0, ProgramID: 1},
+		&XnpStatus{Src: 6, DestID: 0, ProgramID: 1, Seq: XnpStatusComplete},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, p := range samplePackets() {
+		t.Run(fmt.Sprintf("%s", p.Kind()), func(t *testing.T) {
+			frame := Encode(p)
+			got, err := Decode(frame)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !packetsEqual(p, got) {
+				t.Fatalf("round trip mismatch:\n  sent %#v\n  got  %#v", p, got)
+			}
+		})
+	}
+}
+
+// packetsEqual compares two packets structurally, treating bitvec
+// fields by Equal.
+func packetsEqual(a, b Packet) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case *DownloadRequest:
+		y := b.(*DownloadRequest)
+		if (x.Missing == nil) != (y.Missing == nil) {
+			return false
+		}
+		if x.Missing != nil && !x.Missing.Equal(y.Missing) {
+			return false
+		}
+		xc, yc := *x, *y
+		xc.Missing, yc.Missing = nil, nil
+		return reflect.DeepEqual(xc, yc)
+	case *DelugeReq:
+		y := b.(*DelugeReq)
+		if (x.Missing == nil) != (y.Missing == nil) {
+			return false
+		}
+		if x.Missing != nil && !x.Missing.Equal(y.Missing) {
+			return false
+		}
+		xc, yc := *x, *y
+		xc.Missing, yc.Missing = nil, nil
+		return reflect.DeepEqual(xc, yc)
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func TestWireSizeMatchesEncodedLength(t *testing.T) {
+	for _, p := range samplePackets() {
+		if got, want := WireSize(p), len(Encode(p)); got != want {
+			t.Errorf("%s: WireSize = %d, len(Encode) = %d", p.Kind(), got, want)
+		}
+	}
+}
+
+func TestDataFrameMatchesMicaTiming(t *testing.T) {
+	// A 22-byte data payload plus MNP data header (src 2, program 1,
+	// seg 1, pkt 1) plus framing must land on the 34-byte TOS frame the
+	// timing model assumes (~14 ms at 19.2 kbps).
+	d := &Data{Src: 1, ProgramID: 1, SegID: 1, PacketID: 1, Payload: make([]byte, 22)}
+	if got := WireSize(d); got != 34 {
+		t.Fatalf("data frame = %d bytes, want 34", got)
+	}
+}
+
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	frame := Encode(&Advertise{Src: 1, ProgramID: 1, ProgramSegments: 1, SegID: 1, SegNominal: 8, TotalPackets: 8})
+
+	short := frame[:3]
+	if _, err := Decode(short); err == nil {
+		t.Error("short frame accepted")
+	}
+
+	flipped := append([]byte(nil), frame...)
+	flipped[6] ^= 0x01
+	if _, err := Decode(flipped); err == nil {
+		t.Error("bit-flipped frame accepted (CRC should fail)")
+	}
+
+	badKind := append([]byte(nil), frame...)
+	badKind[2] = 0xEE
+	badKind = reCRC(badKind)
+	if _, err := Decode(badKind); err == nil {
+		t.Error("unknown kind accepted")
+	}
+
+	badLen := append([]byte(nil), frame...)
+	badLen[4] = badLen[4] + 1
+	badLen = reCRC(badLen)
+	if _, err := Decode(badLen); err == nil {
+		t.Error("wrong length field accepted")
+	}
+}
+
+// reCRC recomputes the trailing CRC so that only the targeted field is
+// invalid.
+func reCRC(frame []byte) []byte {
+	body := frame[:len(frame)-2]
+	c := crc16(body)
+	frame[len(frame)-2] = byte(c >> 8)
+	frame[len(frame)-1] = byte(c)
+	return frame
+}
+
+func TestDecodePayloadLengthValidation(t *testing.T) {
+	// Every fixed-size message must reject a truncated payload.
+	msgs := []Packet{
+		&Advertise{}, &StartDownload{}, &EndDownload{}, &Query{},
+		&RepairRequest{}, &StartSignal{}, &DelugeAdv{}, &MoapPublish{},
+		&MoapSubscribe{}, &MoapNak{}, &XnpQueryStatus{}, &XnpStatus{},
+		&Data{}, &DownloadRequest{}, &DelugeReq{}, &DelugeData{},
+		&MoapData{}, &XnpData{},
+	}
+	for _, m := range msgs {
+		if err := m.decodePayload([]byte{1}); err == nil {
+			t.Errorf("%s accepted 1-byte payload", m.Kind())
+		}
+	}
+}
+
+func TestClassOfCoversAllKinds(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want Class
+	}{
+		{KindAdvertise, ClassAdvertisement},
+		{KindDelugeAdv, ClassAdvertisement},
+		{KindMoapPublish, ClassAdvertisement},
+		{KindDownloadRequest, ClassRequest},
+		{KindDelugeReq, ClassRequest},
+		{KindMoapSubscribe, ClassRequest},
+		{KindMoapNak, ClassRequest},
+		{KindRepairRequest, ClassRequest},
+		{KindData, ClassData},
+		{KindDelugeData, ClassData},
+		{KindMoapData, ClassData},
+		{KindXnpData, ClassData},
+		{KindStartDownload, ClassControl},
+		{KindEndDownload, ClassControl},
+		{KindQuery, ClassControl},
+		{KindStartSignal, ClassControl},
+		{KindXnpQueryStatus, ClassControl},
+		{KindXnpStatus, ClassControl},
+	}
+	for _, tt := range tests {
+		if got := ClassOf(tt.kind); got != tt.want {
+			t.Errorf("ClassOf(%s) = %s, want %s", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestKindAndClassStrings(t *testing.T) {
+	for _, p := range samplePackets() {
+		if p.Kind().String() == "" {
+			t.Errorf("empty name for kind %d", p.Kind())
+		}
+	}
+	if Kind(250).String() != "Kind(250)" {
+		t.Errorf("unknown kind string = %q", Kind(250).String())
+	}
+	for _, c := range []Class{ClassControl, ClassAdvertisement, ClassRequest, ClassData, Class(99)} {
+		if c.String() == "" {
+			t.Errorf("empty class string for %d", c)
+		}
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(5).String(); got != "n5" {
+		t.Errorf("NodeID(5) = %q", got)
+	}
+	if got := Broadcast.String(); got != "bcast" {
+		t.Errorf("Broadcast = %q", got)
+	}
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		// Decode must fail gracefully or produce a valid packet, never
+		// panic.
+		p, err := Decode(buf)
+		if err == nil && p == nil {
+			t.Fatal("nil packet with nil error")
+		}
+	}
+}
+
+// Property: any Data payload round-trips byte-for-byte.
+func TestQuickDataPayloadRoundTrip(t *testing.T) {
+	f := func(src uint16, seg, pkt uint8, payload []byte) bool {
+		if len(payload) > 200 {
+			payload = payload[:200]
+		}
+		d := &Data{Src: NodeID(src), ProgramID: 1, SegID: seg, PacketID: pkt, Payload: payload}
+		got, err := Decode(Encode(d))
+		if err != nil {
+			return false
+		}
+		gd, ok := got.(*Data)
+		if !ok {
+			return false
+		}
+		return gd.SegID == seg && gd.PacketID == pkt && gd.Src == NodeID(src) &&
+			bytes.Equal(gd.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a download request's MissingVector survives the trip for
+// any segment size.
+func TestQuickDownloadRequestMissingRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%bitvec.MaxBits + 1
+		rng := rand.New(rand.NewSource(seed))
+		miss := bitvec.MustNew(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				miss.Set(i)
+			}
+		}
+		r := &DownloadRequest{
+			Src: 3, DestID: 4, ProgramID: 1, SegID: 2,
+			SegPackets: uint8(n), EchoReqCtr: 1, Missing: miss,
+		}
+		got, err := Decode(Encode(r))
+		if err != nil {
+			return false
+		}
+		gr, ok := got.(*DownloadRequest)
+		if !ok || gr.Missing == nil {
+			return false
+		}
+		return gr.Missing.Equal(miss)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeData(b *testing.B) {
+	d := &Data{Src: 1, ProgramID: 1, SegID: 1, PacketID: 1, Payload: make([]byte, 22)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(d)
+	}
+}
+
+func BenchmarkDecodeData(b *testing.B) {
+	frame := Encode(&Data{Src: 1, ProgramID: 1, SegID: 1, PacketID: 1, Payload: make([]byte, 22)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,459 @@
+// Package radio models the wireless channel the way TOSSIM does: the
+// network is a directed graph whose edges carry independent bit-error
+// probabilities (hence asymmetric links), layered with a Mica-2 CC1000
+// timing model (19.2 kbps), CSMA carrier sensing, and collision
+// semantics under which overlapping audible frames corrupt each other
+// at a receiver. The hidden-terminal problem — two transmitters out of
+// each other's carrier-sense range colliding at a node between them —
+// falls out of the model rather than being special-cased.
+package radio
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mnp/internal/packet"
+	"mnp/internal/sim"
+	"mnp/internal/topology"
+)
+
+// Params configures the channel model.
+type Params struct {
+	// BitRateBps is the radio bit rate; 19200 for the Mica-2 CC1000.
+	BitRateBps int
+	// TxRangeFeet maps a TinyOS power level to its communication (and
+	// carrier-sense) range in feet. Levels used by the experiments:
+	// indoor 3 and 4, outdoor 50 and 255 (full), simulation 20.
+	TxRangeFeet map[int]float64
+	// BERFloor is the bit-error rate of a perfect (zero-distance) link.
+	BERFloor float64
+	// BERCeil is the bit-error rate at exactly the communication range.
+	BERCeil float64
+	// AsymSigma is the standard deviation of the per-directed-link
+	// lognormal noise factor applied to the BER, producing the
+	// asymmetric links TOSSIM's empirical model exhibits. Zero disables
+	// link noise.
+	AsymSigma float64
+	// CaptureRatio enables the capture effect: when two frames overlap
+	// at a receiver and one transmitter is at most CaptureRatio times
+	// the distance of the other, the nearer (stronger) frame survives
+	// instead of both being lost. Zero disables capture (every overlap
+	// corrupts both frames, the conservative default).
+	CaptureRatio float64
+}
+
+// DefaultParams returns the Mica-2 model used by the experiments.
+func DefaultParams() Params {
+	return Params{
+		BitRateBps: 19200,
+		TxRangeFeet: map[int]float64{
+			PowerWeak:       15,
+			PowerIndoorLow:  32,
+			PowerIndoorHigh: 55,
+			PowerSim:        27,
+			PowerOutdoorLow: 35,
+			PowerFull:       70,
+		},
+		BERFloor:  1e-4,
+		BERCeil:   2e-2,
+		AsymSigma: 0.3,
+	}
+}
+
+// Power levels referenced by the paper's experiments. TinyOS exposes
+// 1..255; the paper uses "the lowest power levels (3 and 4)" indoors,
+// "power level 50 and default power level (255)" outdoors, and we add a
+// mid level for the 20×20 TOSSIM-style simulations.
+const (
+	PowerWeak       = 1 // battery-aware advertisements from drained nodes
+	PowerIndoorLow  = 3
+	PowerIndoorHigh = 4
+	PowerSim        = 20
+	PowerOutdoorLow = 50
+	PowerFull       = 255
+)
+
+// RxMeta describes a successful reception.
+type RxMeta struct {
+	From  packet.NodeID
+	Bytes int
+	At    time.Duration
+}
+
+// FrameHandler consumes a decoded frame at a node.
+type FrameHandler func(p packet.Packet, meta RxMeta)
+
+// TrafficSink observes channel activity for metrics. Implementations
+// must not re-enter the medium.
+type TrafficSink interface {
+	// FrameSent fires once per transmission at its start.
+	FrameSent(src packet.NodeID, kind packet.Kind, bytes int)
+	// FrameReceived fires per successful reception.
+	FrameReceived(dst, src packet.NodeID, kind packet.Kind, bytes int)
+	// FrameCollided fires per receiver that lost a frame to collision.
+	FrameCollided(dst, src packet.NodeID, kind packet.Kind)
+}
+
+// NopSink discards all traffic events.
+type NopSink struct{}
+
+// FrameSent implements TrafficSink.
+func (NopSink) FrameSent(packet.NodeID, packet.Kind, int) {}
+
+// FrameReceived implements TrafficSink.
+func (NopSink) FrameReceived(packet.NodeID, packet.NodeID, packet.Kind, int) {}
+
+// FrameCollided implements TrafficSink.
+func (NopSink) FrameCollided(packet.NodeID, packet.NodeID, packet.Kind) {}
+
+var _ TrafficSink = NopSink{}
+
+type nodeState struct {
+	handler   FrameHandler
+	on        bool
+	onSince   time.Duration
+	txStart   time.Duration
+	txEnd     time.Duration
+	everTx    bool
+	destroyed bool
+}
+
+type transmission struct {
+	src       packet.NodeID
+	pkt       packet.Packet
+	kind      packet.Kind
+	bytes     int
+	start     time.Duration
+	end       time.Duration
+	audible   []packet.NodeID
+	corrupted map[packet.NodeID]bool
+}
+
+// Medium is the shared wireless channel. It is driven entirely by the
+// simulation kernel and is not safe for concurrent use.
+type Medium struct {
+	kernel *sim.Kernel
+	layout *topology.Layout
+	params Params
+	seed   int64
+	nodes  []nodeState
+	active []*transmission
+	sink   TrafficSink
+}
+
+// NewMedium builds a channel over layout. seed drives the per-link
+// asymmetry noise (independent of the kernel's RNG so that link quality
+// is a stable property of the deployment).
+func NewMedium(k *sim.Kernel, layout *topology.Layout, p Params, seed int64) (*Medium, error) {
+	if k == nil || layout == nil {
+		return nil, fmt.Errorf("radio: nil kernel or layout")
+	}
+	if p.BitRateBps <= 0 {
+		return nil, fmt.Errorf("radio: bit rate %d must be positive", p.BitRateBps)
+	}
+	if p.BERFloor < 0 || p.BERCeil <= p.BERFloor || p.BERCeil >= 1 {
+		return nil, fmt.Errorf("radio: BER bounds [%g, %g] invalid", p.BERFloor, p.BERCeil)
+	}
+	return &Medium{
+		kernel: k,
+		layout: layout,
+		params: p,
+		seed:   seed,
+		nodes:  make([]nodeState, layout.N()),
+		sink:   NopSink{},
+	}, nil
+}
+
+// SetSink installs the traffic observer.
+func (m *Medium) SetSink(s TrafficSink) {
+	if s == nil {
+		m.sink = NopSink{}
+		return
+	}
+	m.sink = s
+}
+
+// Register installs the frame handler for node id. Radios start off.
+func (m *Medium) Register(id packet.NodeID, h FrameHandler) error {
+	if int(id) >= len(m.nodes) {
+		return fmt.Errorf("radio: node %v out of range", id)
+	}
+	m.nodes[id].handler = h
+	return nil
+}
+
+// SetRadio switches node id's radio on or off. Turning the radio off
+// aborts any in-progress reception (the frame is simply not delivered).
+func (m *Medium) SetRadio(id packet.NodeID, on bool) {
+	st := &m.nodes[id]
+	if st.destroyed || st.on == on {
+		return
+	}
+	st.on = on
+	if on {
+		st.onSince = m.kernel.Now()
+	}
+}
+
+// RadioOn reports whether node id's radio is on.
+func (m *Medium) RadioOn(id packet.NodeID) bool { return m.nodes[id].on }
+
+// Destroy removes node id from the network permanently (failure
+// injection: "the sender dies as it is sending packets").
+func (m *Medium) Destroy(id packet.NodeID) {
+	st := &m.nodes[id]
+	st.on = false
+	st.destroyed = true
+}
+
+// Destroyed reports whether the node has been destroyed.
+func (m *Medium) Destroyed(id packet.NodeID) bool { return m.nodes[id].destroyed }
+
+// Airtime returns how long a frame of the given size occupies the
+// channel.
+func (m *Medium) Airtime(bytes int) time.Duration {
+	bits := bytes * 8
+	return time.Duration(float64(bits) / float64(m.params.BitRateBps) * float64(time.Second))
+}
+
+// RangeFor returns the communication range for a power level.
+func (m *Medium) RangeFor(power int) (float64, error) {
+	r, ok := m.params.TxRangeFeet[power]
+	if !ok {
+		return 0, fmt.Errorf("radio: no range configured for power level %d", power)
+	}
+	return r, nil
+}
+
+// Busy reports whether node id's carrier sense detects an ongoing
+// transmission. A node hears a transmission if it is within the
+// transmitter's range.
+func (m *Medium) Busy(id packet.NodeID) bool {
+	now := m.kernel.Now()
+	for _, t := range m.active {
+		if t.end <= now {
+			continue
+		}
+		if t.src == id {
+			return true
+		}
+		if t.isAudible(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Transmitting reports whether node id is mid-transmission.
+func (m *Medium) Transmitting(id packet.NodeID) bool {
+	st := &m.nodes[id]
+	return st.everTx && st.txEnd > m.kernel.Now()
+}
+
+// Neighbors returns the nodes within the transmission range of id at
+// the given power level.
+func (m *Medium) Neighbors(id packet.NodeID, power int) ([]packet.NodeID, error) {
+	r, err := m.RangeFor(power)
+	if err != nil {
+		return nil, err
+	}
+	return m.layout.Within(id, r), nil
+}
+
+// Transmit broadcasts pkt from src at the given power level and
+// returns the frame's airtime. The caller must keep the radio on for
+// the duration. Transmission fails if the radio is off, the node is
+// destroyed, or a previous transmission is still in the air.
+func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time.Duration, error) {
+	st := &m.nodes[src]
+	if st.destroyed {
+		return 0, fmt.Errorf("radio: node %v is destroyed", src)
+	}
+	if !st.on {
+		return 0, fmt.Errorf("radio: node %v radio is off", src)
+	}
+	now := m.kernel.Now()
+	if st.everTx && st.txEnd > now {
+		return 0, fmt.Errorf("radio: node %v already transmitting", src)
+	}
+	rng, err := m.RangeFor(power)
+	if err != nil {
+		return 0, err
+	}
+	frame := packet.Encode(pkt)
+	air := m.Airtime(len(frame))
+	t := &transmission{
+		src:       src,
+		pkt:       pkt,
+		kind:      pkt.Kind(),
+		bytes:     len(frame),
+		start:     now,
+		end:       now + air,
+		corrupted: make(map[packet.NodeID]bool),
+	}
+	pos, err := m.layout.Pos(src)
+	if err != nil {
+		return 0, err
+	}
+	for i := range m.nodes {
+		id := packet.NodeID(i)
+		if id == src {
+			continue
+		}
+		q, _ := m.layout.Pos(id)
+		if pos.Distance(q) <= rng {
+			t.audible = append(t.audible, id)
+		}
+	}
+	// Overlapping audible frames corrupt each other at the common
+	// receivers (this includes the hidden-terminal case), unless the
+	// capture effect lets the markedly stronger frame survive.
+	for _, u := range m.active {
+		if u.end <= now {
+			continue
+		}
+		for _, r := range t.audible {
+			if !u.isAudible(r) {
+				continue
+			}
+			if m.params.CaptureRatio > 0 {
+				rPos, _ := m.layout.Pos(r)
+				tPos, _ := m.layout.Pos(t.src)
+				uPos, _ := m.layout.Pos(u.src)
+				dt := rPos.Distance(tPos)
+				du := rPos.Distance(uPos)
+				if dt <= m.params.CaptureRatio*du {
+					u.corrupted[r] = true // t captures the receiver
+					continue
+				}
+				if du <= m.params.CaptureRatio*dt {
+					t.corrupted[r] = true // u holds the receiver
+					continue
+				}
+			}
+			t.corrupted[r] = true
+			u.corrupted[r] = true
+		}
+		// A frame arriving at an active transmitter is lost there, and
+		// the new frame is garbled at the other transmitter too.
+		if u.isAudible(src) {
+			u.corrupted[src] = true
+		}
+		if t.isAudible(u.src) {
+			t.corrupted[u.src] = true
+		}
+	}
+
+	st.txStart = now
+	st.txEnd = t.end
+	st.everTx = true
+	m.active = append(m.active, t)
+	m.sink.FrameSent(src, t.kind, t.bytes)
+	m.kernel.MustSchedule(air, func() { m.finish(t, rng) })
+	return air, nil
+}
+
+func (m *Medium) finish(t *transmission, txRange float64) {
+	// Drop t from the active list.
+	for i, u := range m.active {
+		if u == t {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	srcPos, err := m.layout.Pos(t.src)
+	if err != nil {
+		return
+	}
+	for _, r := range t.audible {
+		st := &m.nodes[r]
+		if st.destroyed || !st.on || st.onSince > t.start {
+			continue // radio off for part of the frame
+		}
+		if st.everTx && st.txEnd > t.start && st.txStart < t.end {
+			continue // half-duplex: was transmitting during the frame
+		}
+		if t.corrupted[r] {
+			m.sink.FrameCollided(r, t.src, t.kind)
+			continue
+		}
+		rPos, _ := m.layout.Pos(r)
+		p := m.linkSuccessProb(t.src, r, srcPos.Distance(rPos), txRange, t.bytes)
+		if m.kernel.Rand().Float64() >= p {
+			continue // channel bit errors
+		}
+		decoded, err := packet.Decode(packet.Encode(t.pkt))
+		if err != nil {
+			continue
+		}
+		m.sink.FrameReceived(r, t.src, t.kind, t.bytes)
+		if st.handler != nil {
+			st.handler(decoded, RxMeta{From: t.src, Bytes: t.bytes, At: m.kernel.Now()})
+		}
+	}
+}
+
+// linkSuccessProb returns the probability that a frame of the given
+// size crosses the directed link src→dst without bit errors.
+func (m *Medium) linkSuccessProb(src, dst packet.NodeID, dist, txRange float64, bytes int) float64 {
+	ber := m.linkBER(src, dst, dist, txRange)
+	return math.Pow(1-ber, float64(bytes*8))
+}
+
+// linkBER computes the directed link's bit-error rate: a floor near
+// the transmitter rising exponentially to BERCeil at the communication
+// range, times a stable per-directed-link lognormal factor.
+func (m *Medium) linkBER(src, dst packet.NodeID, dist, txRange float64) float64 {
+	frac := dist / txRange
+	if frac > 1 {
+		return 1
+	}
+	base := m.params.BERFloor * math.Exp(math.Log(m.params.BERCeil/m.params.BERFloor)*frac*frac)
+	if m.params.AsymSigma > 0 {
+		base *= linkNoise(m.seed, src, dst, m.params.AsymSigma)
+	}
+	if base > 1 {
+		base = 1
+	}
+	return base
+}
+
+// linkNoise returns a deterministic lognormal factor for the directed
+// link (src, dst), independent of event ordering.
+func linkNoise(seed int64, src, dst packet.NodeID, sigma float64) float64 {
+	h := splitmix64(uint64(seed) ^ uint64(src)<<32 ^ uint64(dst)<<16 ^ 0x9E3779B97F4A7C15)
+	// Two uniforms via Box–Muller for one standard normal draw.
+	u1 := float64(h>>11) / float64(1<<53)
+	h2 := splitmix64(h)
+	u2 := float64(h2>>11) / float64(1<<53)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	f := math.Exp(sigma * z)
+	// Clamp so no link becomes absurdly good or bad.
+	if f < 0.25 {
+		f = 0.25
+	}
+	if f > 4 {
+		f = 4
+	}
+	return f
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (t *transmission) isAudible(id packet.NodeID) bool {
+	for _, a := range t.audible {
+		if a == id {
+			return true
+		}
+	}
+	return false
+}

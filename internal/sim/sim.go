@@ -1,0 +1,205 @@
+// Package sim is a deterministic discrete-event simulation kernel: a
+// virtual clock, a priority queue of events, cancellable timers, and a
+// seeded RNG. It plays the role TOSSIM plays in the paper — the
+// substrate every experiment runs on — while guaranteeing that a run is
+// a pure function of its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kernel is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; everything in a simulation executes inside event
+// callbacks on one goroutine.
+type Kernel struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns a kernel whose RNG is seeded with seed. Two kernels with
+// the same seed and the same schedule of callbacks produce identical
+// runs.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (elapsed since simulation
+// start).
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic RNG. All randomness in a
+// simulation must come from here.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+// Schedule runs fn after delay of virtual time. A negative delay is an
+// error; a zero delay runs fn after all events already scheduled for
+// the current instant (FIFO among equal times).
+func (k *Kernel) Schedule(delay time.Duration, fn func()) (*Timer, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("sim: negative delay %v", delay)
+	}
+	return k.at(k.now+delay, fn), nil
+}
+
+// MustSchedule is Schedule for delays known to be non-negative; it
+// panics otherwise.
+func (k *Kernel) MustSchedule(delay time.Duration, fn func()) *Timer {
+	t, err := k.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (k *Kernel) at(when time.Duration, fn func()) *Timer {
+	ev := &event{at: when, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Step executes the next pending event. It returns false when the
+// queue is empty.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Stop makes the current Run return after the executing event
+// completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue drains, the virtual clock would
+// pass limit, or Stop is called. It returns the number of events
+// executed. Events scheduled exactly at limit still run.
+func (k *Kernel) Run(limit time.Duration) int {
+	k.stopped = false
+	n := 0
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next > limit {
+			break
+		}
+		if !k.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events until pred returns true, the clock passes
+// limit, or the queue drains. It reports whether pred was satisfied.
+// pred is evaluated after every event.
+func (k *Kernel) RunUntil(pred func() bool, limit time.Duration) bool {
+	if pred() {
+		return true
+	}
+	k.stopped = false
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next > limit {
+			return false
+		}
+		if !k.Step() {
+			return false
+		}
+		if pred() {
+			return true
+		}
+	}
+	return false
+}
+
+// Pending returns the number of events waiting (including cancelled
+// ones not yet reaped).
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+func (k *Kernel) peek() (time.Duration, bool) {
+	for k.queue.Len() > 0 {
+		ev := k.queue[0]
+		if ev.cancelled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+// eventHeap orders events by (time, insertion sequence) so equal-time
+// events run FIFO and runs are deterministic.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

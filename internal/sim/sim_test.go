@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.MustSchedule(30*time.Millisecond, func() { got = append(got, 3) })
+	k.MustSchedule(10*time.Millisecond, func() { got = append(got, 1) })
+	k.MustSchedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if n := k.Run(time.Second); n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v", k.Now())
+	}
+}
+
+func TestEqualTimesRunFIFO(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.MustSchedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	k.Run(time.Second)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayRejected(t *testing.T) {
+	k := New(1)
+	if _, err := k.Schedule(-time.Millisecond, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchedule did not panic")
+		}
+	}()
+	k.MustSchedule(-1, func() {})
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	k := New(1)
+	fired := false
+	tm := k.MustSchedule(10*time.Millisecond, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("fresh timer inactive")
+	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("cancelled timer active")
+	}
+	k.Run(time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancel is idempotent and safe after the run.
+	tm.Cancel()
+	var nilTimer *Timer
+	nilTimer.Cancel() // must not panic
+	if nilTimer.Active() {
+		t.Fatal("nil timer active")
+	}
+}
+
+func TestTimerInactiveAfterFiring(t *testing.T) {
+	k := New(1)
+	tm := k.MustSchedule(time.Millisecond, func() {})
+	k.Run(time.Second)
+	if tm.Active() {
+		t.Fatal("fired timer still active")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	k := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			k.MustSchedule(time.Millisecond, tick)
+		}
+	}
+	k.MustSchedule(0, tick)
+	k.Run(time.Second)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if k.Now() != 4*time.Millisecond {
+		t.Fatalf("Now = %v, want 4ms", k.Now())
+	}
+}
+
+func TestRunRespectsLimit(t *testing.T) {
+	k := New(1)
+	ran := []time.Duration{}
+	for _, d := range []time.Duration{time.Millisecond, time.Second, time.Hour} {
+		d := d
+		k.MustSchedule(d, func() { ran = append(ran, d) })
+	}
+	k.Run(time.Second) // events at exactly the limit still run
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want first two", ran)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+	// The remaining event is still runnable later.
+	k.Run(2 * time.Hour)
+	if len(ran) != 3 {
+		t.Fatalf("ran %v after extended run", ran)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		k.MustSchedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run(time.Second)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.MustSchedule(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	if !k.RunUntil(func() bool { return count == 4 }, time.Second) {
+		t.Fatal("RunUntil did not satisfy predicate")
+	}
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if k.RunUntil(func() bool { return count == 100 }, time.Second) {
+		t.Fatal("RunUntil satisfied impossible predicate")
+	}
+	// Immediately-true predicate runs nothing.
+	before := count
+	if !k.RunUntil(func() bool { return true }, time.Second) {
+		t.Fatal("trivially true predicate unsatisfied")
+	}
+	if count != before {
+		t.Fatal("events ran for a trivially true predicate")
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	k := New(1)
+	if k.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int {
+		k := New(seed)
+		var out []int
+		var spawn func()
+		spawn = func() {
+			v := k.Rand().Intn(1000)
+			out = append(out, v)
+			if len(out) < 50 {
+				k.MustSchedule(time.Duration(k.Rand().Intn(100))*time.Millisecond, spawn)
+			}
+		}
+		k.MustSchedule(0, spawn)
+		k.Run(time.Hour)
+		return out
+	}
+	a, b := trace(7), trace(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := trace(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestCancelledEventsReapedFromPeek(t *testing.T) {
+	k := New(1)
+	timers := make([]*Timer, 100)
+	for i := range timers {
+		timers[i] = k.MustSchedule(time.Millisecond, func() {})
+	}
+	for _, tm := range timers {
+		tm.Cancel()
+	}
+	fired := false
+	k.MustSchedule(2*time.Millisecond, func() { fired = true })
+	if n := k.Run(time.Second); n != 1 {
+		t.Fatalf("ran %d events, want 1", n)
+	}
+	if !fired {
+		t.Fatal("surviving event did not fire")
+	}
+}
+
+// Property: for any random schedule (including events scheduled from
+// inside events), execution times are monotonically non-decreasing.
+func TestQuickExecutionOrderMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		k := New(seed)
+		var times []time.Duration
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			times = append(times, k.Now())
+			if depth < 3 {
+				n := k.Rand().Intn(4)
+				for i := 0; i < n; i++ {
+					d := time.Duration(k.Rand().Intn(1000)) * time.Millisecond
+					k.MustSchedule(d, func() { spawn(depth + 1) })
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			d := time.Duration(k.Rand().Intn(5000)) * time.Millisecond
+			k.MustSchedule(d, func() { spawn(0) })
+		}
+		k.Run(time.Hour)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickCheck is a tiny local stand-in for testing/quick that feeds
+// sequential seeds (quick's random int64s are fine too, but sequential
+// seeds make failures reproducible at a glance).
+func quickCheck(f func(int64) bool, n int) error {
+	for seed := int64(0); seed < int64(n); seed++ {
+		if !f(seed) {
+			return fmt.Errorf("property failed at seed %d", seed)
+		}
+	}
+	return nil
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := New(1)
+		for j := 0; j < 100; j++ {
+			k.MustSchedule(time.Duration(j)*time.Microsecond, func() {})
+		}
+		k.Run(time.Second)
+	}
+}

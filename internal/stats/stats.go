@@ -1,0 +1,115 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment reports need: means, spreads, percentiles, and simple
+// linear regression (used to check Figure 10's completion-time
+// linearity).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// MinMax returns the extremes of xs; it panics on an empty slice.
+func MinMax(xs []float64) (minV, maxV float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	minV, maxV = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	return minV, maxV
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using
+// nearest-rank; it panics on an empty slice or a p outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	return sorted[rank-1]
+}
+
+// Line is a fitted y = Intercept + Slope*x with its goodness of fit.
+type Line struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit computes an ordinary-least-squares fit of ys against xs.
+// It returns an error when fewer than two points are given, the slices
+// disagree in length, or all xs are identical.
+func LinearFit(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) {
+		return Line{}, fmt.Errorf("stats: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Line{}, fmt.Errorf("stats: need at least 2 points, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Line{}, fmt.Errorf("stats: degenerate fit (all xs equal)")
+	}
+	slope := sxy / sxx
+	line := Line{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		line.R2 = 1 // ys constant and perfectly predicted
+		return line, nil
+	}
+	ssRes := 0.0
+	for i := range xs {
+		r := ys[i] - (line.Intercept + line.Slope*xs[i])
+		ssRes += r * r
+	}
+	line.R2 = 1 - ssRes/syy
+	return line, nil
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !close(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Errorf("Mean = %v", Mean([]float64{1, 2, 3, 4}))
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton != 0")
+	}
+	if !close(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Errorf("StdDev = %v", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(nil) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); got != tt.want {
+			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(101) did not panic")
+		}
+	}()
+	Percentile(xs, 101)
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile of empty did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	line, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(line.Slope, 2) || !close(line.Intercept, 3) || !close(line.R2, 1) {
+		t.Fatalf("fit = %+v", line)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate xs accepted")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	line, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(line.Slope, 0) || !close(line.Intercept, 4) || line.R2 != 1 {
+		t.Fatalf("fit = %+v", line)
+	}
+}
+
+// Property: for noisy-but-linear data, the fit recovers slope and
+// intercept to within the noise scale, and R2 stays high.
+func TestQuickLinearFitRecovery(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slope := rng.Float64()*20 - 10
+		intercept := rng.Float64()*20 - 10
+		xs := make([]float64, 50)
+		ys := make([]float64, 50)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = intercept + slope*xs[i] + (rng.Float64()-0.5)*0.01
+		}
+		line, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(line.Slope-slope) < 0.01 &&
+			math.Abs(line.Intercept-intercept) < 0.1 &&
+			(line.R2 > 0.999 || math.Abs(slope) < 0.01)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, rng.Intn(40)+1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		lo, hi := MinMax(xs)
+		prev := lo
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev || v < lo || v > hi {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package trace records a per-run event log — protocol state changes,
+// radio transitions, storage operations — as an implementation of
+// node.Observer. It is the debugging companion to the metrics
+// collector: metrics aggregates, trace remembers the sequence.
+//
+// The log is bounded: once Cap entries have been recorded, the oldest
+// are dropped (a ring), so long simulations cannot exhaust memory.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mnp/internal/node"
+	"mnp/internal/packet"
+)
+
+// Kind classifies trace entries.
+type Kind int
+
+// Entry kinds.
+const (
+	KindEvent Kind = iota + 1
+	KindRadio
+	KindStorage
+)
+
+// Entry is one recorded observation.
+type Entry struct {
+	At    time.Duration
+	Node  packet.NodeID
+	Kind  Kind
+	Event node.Event // KindEvent
+	On    bool       // KindRadio
+	Write bool       // KindStorage
+	Bytes int        // KindStorage
+}
+
+// String renders the entry for logs.
+func (e Entry) String() string {
+	prefix := fmt.Sprintf("%12s %v", e.At.Round(time.Millisecond), e.Node)
+	switch e.Kind {
+	case KindRadio:
+		state := "off"
+		if e.On {
+			state = "on"
+		}
+		return fmt.Sprintf("%s radio %s", prefix, state)
+	case KindStorage:
+		op := "read"
+		if e.Write {
+			op = "write"
+		}
+		return fmt.Sprintf("%s eeprom %s %dB", prefix, op, e.Bytes)
+	default:
+		switch e.Event.Kind {
+		case node.EventStateChange:
+			return fmt.Sprintf("%s state -> %s", prefix, e.Event.State)
+		case node.EventParentSet:
+			return fmt.Sprintf("%s parent = %v (segment %d)", prefix, e.Event.Peer, e.Event.Seg)
+		case node.EventGotSegment:
+			return fmt.Sprintf("%s got segment %d", prefix, e.Event.Seg)
+		case node.EventGotCode:
+			return fmt.Sprintf("%s got full program", prefix)
+		case node.EventBecameSender:
+			return fmt.Sprintf("%s became sender (segment %d)", prefix, e.Event.Seg)
+		case node.EventRebooted:
+			return fmt.Sprintf("%s rebooted", prefix)
+		default:
+			return fmt.Sprintf("%s event %d", prefix, e.Event.Kind)
+		}
+	}
+}
+
+// Log is a bounded event recorder. It is not safe for concurrent use;
+// in the DES all observations arrive on one goroutine.
+type Log struct {
+	cap     int
+	entries []Entry
+	start   int
+	dropped int
+	now     func() time.Duration
+	filter  func(packet.NodeID) bool
+}
+
+// Option customizes a Log.
+type Option func(*Log)
+
+// WithCap bounds the number of retained entries (default 65536).
+func WithCap(n int) Option {
+	return func(l *Log) { l.cap = n }
+}
+
+// WithNodeFilter records only nodes for which keep returns true.
+func WithNodeFilter(keep func(packet.NodeID) bool) Option {
+	return func(l *Log) { l.filter = keep }
+}
+
+// NewLog builds a recorder; now supplies timestamps (use Kernel.Now).
+func NewLog(now func() time.Duration, opts ...Option) (*Log, error) {
+	if now == nil {
+		return nil, fmt.Errorf("trace: clock is required")
+	}
+	l := &Log{cap: 65536, now: now}
+	for _, o := range opts {
+		o(l)
+	}
+	if l.cap <= 0 {
+		return nil, fmt.Errorf("trace: cap %d must be positive", l.cap)
+	}
+	return l, nil
+}
+
+var _ node.Observer = (*Log)(nil)
+
+// NodeEvent implements node.Observer.
+func (l *Log) NodeEvent(id packet.NodeID, at time.Duration, ev node.Event) {
+	l.add(Entry{At: at, Node: id, Kind: KindEvent, Event: ev})
+}
+
+// RadioState implements node.Observer.
+func (l *Log) RadioState(id packet.NodeID, at time.Duration, on bool) {
+	l.add(Entry{At: at, Node: id, Kind: KindRadio, On: on})
+}
+
+// StorageOp implements node.Observer.
+func (l *Log) StorageOp(id packet.NodeID, write bool, bytes int) {
+	l.add(Entry{At: l.now(), Node: id, Kind: KindStorage, Write: write, Bytes: bytes})
+}
+
+func (l *Log) add(e Entry) {
+	if l.filter != nil && !l.filter(e.Node) {
+		return
+	}
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		return
+	}
+	l.entries[l.start] = e
+	l.start = (l.start + 1) % l.cap
+	l.dropped++
+}
+
+// Len returns the number of retained entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Dropped returns how many entries were evicted by the ring.
+func (l *Log) Dropped() int { return l.dropped }
+
+// Entries returns the retained entries in arrival order.
+func (l *Log) Entries() []Entry {
+	out := make([]Entry, 0, len(l.entries))
+	out = append(out, l.entries[l.start:]...)
+	out = append(out, l.entries[:l.start]...)
+	return out
+}
+
+// NodeEntries returns the retained entries for one node, in order.
+func (l *Log) NodeEntries(id packet.NodeID) []Entry {
+	var out []Entry
+	for _, e := range l.Entries() {
+		if e.Node == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes every retained entry to w, one per line.
+func (l *Log) Dump(w io.Writer) error {
+	for _, e := range l.Entries() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	if l.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d earlier entries dropped)\n", l.dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mnp/internal/node"
+	"mnp/internal/packet"
+)
+
+func fixedClock(d time.Duration) func() time.Duration {
+	return func() time.Duration { return d }
+}
+
+func TestNewLogValidation(t *testing.T) {
+	if _, err := NewLog(nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewLog(fixedClock(0), WithCap(0)); err == nil {
+		t.Error("zero cap accepted")
+	}
+}
+
+func TestRecordAndRender(t *testing.T) {
+	l, err := NewLog(fixedClock(3 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.NodeEvent(1, time.Second, node.Event{Kind: node.EventStateChange, State: "advertise"})
+	l.NodeEvent(1, 2*time.Second, node.Event{Kind: node.EventParentSet, Peer: 0, Seg: 1})
+	l.NodeEvent(1, 2*time.Second, node.Event{Kind: node.EventGotSegment, Seg: 1})
+	l.NodeEvent(1, 2*time.Second, node.Event{Kind: node.EventGotCode})
+	l.NodeEvent(1, 2*time.Second, node.Event{Kind: node.EventBecameSender, Seg: 1})
+	l.NodeEvent(1, 2*time.Second, node.Event{Kind: node.EventRebooted})
+	l.NodeEvent(1, 2*time.Second, node.Event{Kind: node.EventKind(99)})
+	l.RadioState(2, time.Second, true)
+	l.RadioState(2, 2*time.Second, false)
+	l.StorageOp(2, true, 22)
+	l.StorageOp(2, false, 22)
+
+	if l.Len() != 11 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	var sb strings.Builder
+	if err := l.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"state -> advertise", "parent = n0", "got segment 1",
+		"got full program", "became sender", "rebooted", "event 99",
+		"radio on", "radio off", "eeprom write 22B", "eeprom read 22B",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l, err := NewLog(fixedClock(0), WithCap(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		l.NodeEvent(packet.NodeID(i), time.Duration(i), node.Event{Kind: node.EventGotCode})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", l.Dropped())
+	}
+	got := l.Entries()
+	want := []packet.NodeID{2, 3, 4}
+	for i := range want {
+		if got[i].Node != want[i] {
+			t.Fatalf("entries = %v, want nodes %v", got, want)
+		}
+	}
+	var sb strings.Builder
+	if err := l.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2 earlier entries dropped") {
+		t.Error("dump does not mention dropped entries")
+	}
+}
+
+func TestNodeFilter(t *testing.T) {
+	l, err := NewLog(fixedClock(0), WithNodeFilter(func(id packet.NodeID) bool { return id == 7 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RadioState(7, 0, true)
+	l.RadioState(8, 0, true)
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (filtered)", l.Len())
+	}
+	if got := l.NodeEntries(7); len(got) != 1 {
+		t.Fatalf("NodeEntries(7) = %d", len(got))
+	}
+	if got := l.NodeEntries(8); len(got) != 0 {
+		t.Fatalf("NodeEntries(8) = %d", len(got))
+	}
+}
+
+func TestMultiObserverFansOut(t *testing.T) {
+	a, _ := NewLog(fixedClock(0))
+	b, _ := NewLog(fixedClock(0))
+	multi := node.MultiObserver{a, b}
+	multi.NodeEvent(1, 0, node.Event{Kind: node.EventGotCode})
+	multi.RadioState(1, 0, true)
+	multi.StorageOp(1, true, 8)
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("fan-out lens = %d, %d", a.Len(), b.Len())
+	}
+}

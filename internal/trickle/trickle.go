@@ -1,0 +1,124 @@
+// Package trickle implements the Trickle algorithm (Levis et al.):
+// polite-gossip timers with suppression and adaptive intervals. The
+// Deluge baseline uses it to pace advertisements.
+//
+// Each interval τ ∈ [TauMin, TauMax]: pick a fire point t uniform in
+// [τ/2, τ); count consistent messages heard; at t transmit only if the
+// count is below the redundancy constant K; at τ double the interval
+// and restart. An inconsistency resets τ to TauMin.
+package trickle
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Config parameterizes a Trickle instance.
+type Config struct {
+	// K is the redundancy constant: hearing K or more consistent
+	// messages in an interval suppresses our own transmission.
+	K int
+	// TauMin and TauMax bound the interval.
+	TauMin, TauMax time.Duration
+}
+
+// DefaultConfig matches Deluge's maintenance parameters (k=1,
+// τ ∈ [500 ms, 64 s]).
+func DefaultConfig() Config {
+	return Config{K: 1, TauMin: 500 * time.Millisecond, TauMax: 64 * time.Second}
+}
+
+// Hooks connect a Trickle instance to its owner's runtime.
+type Hooks struct {
+	// Rand supplies deterministic randomness.
+	Rand *rand.Rand
+	// SetFire schedules the fire callback after d (replacing any
+	// pending one).
+	SetFire func(d time.Duration)
+	// SetEnd schedules the interval-end callback after d (replacing
+	// any pending one).
+	SetEnd func(d time.Duration)
+	// Transmit is called when the timer fires unsuppressed.
+	Transmit func()
+}
+
+// Trickle is a single timer instance. Drive it by calling Fire and
+// IntervalEnd from the owner's two timer callbacks.
+type Trickle struct {
+	cfg   Config
+	hooks Hooks
+	tau   time.Duration
+	heard int
+	fired bool
+}
+
+// New validates the configuration and returns a stopped instance;
+// call Start to begin the first interval.
+func New(cfg Config, hooks Hooks) (*Trickle, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("trickle: K must be positive, got %d", cfg.K)
+	}
+	if cfg.TauMin <= 0 || cfg.TauMax < cfg.TauMin {
+		return nil, fmt.Errorf("trickle: bad interval bounds [%v, %v]", cfg.TauMin, cfg.TauMax)
+	}
+	if hooks.Rand == nil || hooks.SetFire == nil || hooks.SetEnd == nil || hooks.Transmit == nil {
+		return nil, fmt.Errorf("trickle: all hooks are required")
+	}
+	return &Trickle{cfg: cfg, hooks: hooks}, nil
+}
+
+// Start begins the first interval at TauMin.
+func (t *Trickle) Start() {
+	t.tau = t.cfg.TauMin
+	t.beginInterval()
+}
+
+// Tau returns the current interval length (for tests and metrics).
+func (t *Trickle) Tau() time.Duration { return t.tau }
+
+// Heard returns the consistent-message count in the current interval.
+func (t *Trickle) Heard() int { return t.heard }
+
+// Hear records a consistent message, contributing to suppression.
+func (t *Trickle) Hear() { t.heard++ }
+
+// Reset reacts to an inconsistency: shrink τ to TauMin and restart,
+// unless already there (per the Trickle rules, resetting an
+// already-minimal interval would cause a broadcast storm).
+func (t *Trickle) Reset() {
+	if t.tau == t.cfg.TauMin {
+		return
+	}
+	t.tau = t.cfg.TauMin
+	t.beginInterval()
+}
+
+// Fire is the owner's fire-timer callback: transmit unless suppressed.
+func (t *Trickle) Fire() {
+	if t.fired {
+		return
+	}
+	t.fired = true
+	if t.heard < t.cfg.K {
+		t.hooks.Transmit()
+	}
+}
+
+// IntervalEnd is the owner's end-timer callback: double τ and restart.
+func (t *Trickle) IntervalEnd() {
+	t.tau *= 2
+	if t.tau > t.cfg.TauMax {
+		t.tau = t.cfg.TauMax
+	}
+	t.beginInterval()
+}
+
+func (t *Trickle) beginInterval() {
+	t.heard = 0
+	t.fired = false
+	half := t.tau / 2
+	fire := half + time.Duration(t.hooks.Rand.Int63n(int64(half)+1))
+	t.hooks.SetFire(fire)
+	t.hooks.SetEnd(t.tau)
+}

@@ -1,0 +1,157 @@
+package trickle
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+type harness struct {
+	tr        *Trickle
+	fireDelay time.Duration
+	endDelay  time.Duration
+	sent      int
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	h := &harness{}
+	tr, err := New(cfg, Hooks{
+		Rand:     rand.New(rand.NewSource(1)),
+		SetFire:  func(d time.Duration) { h.fireDelay = d },
+		SetEnd:   func(d time.Duration) { h.endDelay = d },
+		Transmit: func() { h.sent++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.tr = tr
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	hooks := Hooks{
+		Rand:     rand.New(rand.NewSource(1)),
+		SetFire:  func(time.Duration) {},
+		SetEnd:   func(time.Duration) {},
+		Transmit: func() {},
+	}
+	if _, err := New(Config{K: 0, TauMin: time.Second, TauMax: time.Minute}, hooks); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := New(Config{K: 1, TauMin: 0, TauMax: time.Minute}, hooks); err == nil {
+		t.Error("TauMin=0 accepted")
+	}
+	if _, err := New(Config{K: 1, TauMin: time.Minute, TauMax: time.Second}, hooks); err == nil {
+		t.Error("TauMax < TauMin accepted")
+	}
+	bad := hooks
+	bad.Transmit = nil
+	if _, err := New(DefaultConfig(), bad); err == nil {
+		t.Error("missing hook accepted")
+	}
+}
+
+func TestStartSchedulesWithinBounds(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	h.tr.Start()
+	if h.tr.Tau() != DefaultConfig().TauMin {
+		t.Fatalf("tau = %v", h.tr.Tau())
+	}
+	if h.fireDelay < h.tr.Tau()/2 || h.fireDelay > h.tr.Tau() {
+		t.Fatalf("fire delay %v outside [τ/2, τ]", h.fireDelay)
+	}
+	if h.endDelay != h.tr.Tau() {
+		t.Fatalf("end delay %v != τ", h.endDelay)
+	}
+}
+
+func TestFireTransmitsWhenQuiet(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	h.tr.Start()
+	h.tr.Fire()
+	if h.sent != 1 {
+		t.Fatalf("sent = %d", h.sent)
+	}
+	// Double fire in one interval is ignored.
+	h.tr.Fire()
+	if h.sent != 1 {
+		t.Fatalf("double-fired: sent = %d", h.sent)
+	}
+}
+
+func TestSuppressionAtK(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.K = 2
+	h := newHarness(t, cfg)
+	h.tr.Start()
+	h.tr.Hear()
+	h.tr.Fire()
+	if h.sent != 1 {
+		t.Fatal("suppressed below K")
+	}
+	h.tr.IntervalEnd()
+	h.tr.Hear()
+	h.tr.Hear()
+	if h.tr.Heard() != 2 {
+		t.Fatalf("Heard = %d", h.tr.Heard())
+	}
+	h.tr.Fire()
+	if h.sent != 1 {
+		t.Fatal("transmitted at K consistent messages")
+	}
+}
+
+func TestIntervalDoublingAndCap(t *testing.T) {
+	cfg := Config{K: 1, TauMin: time.Second, TauMax: 8 * time.Second}
+	h := newHarness(t, cfg)
+	h.tr.Start()
+	want := []time.Duration{2, 4, 8, 8, 8}
+	for i, w := range want {
+		h.tr.IntervalEnd()
+		if h.tr.Tau() != w*time.Second {
+			t.Fatalf("after %d ends: tau = %v, want %vs", i+1, h.tr.Tau(), w)
+		}
+	}
+}
+
+func TestResetShrinksToMin(t *testing.T) {
+	cfg := Config{K: 1, TauMin: time.Second, TauMax: 8 * time.Second}
+	h := newHarness(t, cfg)
+	h.tr.Start()
+	h.tr.IntervalEnd()
+	h.tr.IntervalEnd()
+	if h.tr.Tau() != 4*time.Second {
+		t.Fatalf("setup: tau = %v", h.tr.Tau())
+	}
+	h.tr.Hear()
+	h.tr.Reset()
+	if h.tr.Tau() != time.Second {
+		t.Fatalf("tau after reset = %v", h.tr.Tau())
+	}
+	if h.tr.Heard() != 0 {
+		t.Fatal("heard count survived reset")
+	}
+	// Reset at TauMin is a no-op (no interval restart storm).
+	before := h.fireDelay
+	h.tr.Hear()
+	h.tr.Reset()
+	if h.tr.Heard() != 1 {
+		t.Fatal("no-op reset cleared state")
+	}
+	_ = before
+}
+
+func TestHeardClearsEachInterval(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	h.tr.Start()
+	h.tr.Hear()
+	h.tr.IntervalEnd()
+	if h.tr.Heard() != 0 {
+		t.Fatal("heard count not cleared at interval end")
+	}
+	h.tr.Fire()
+	if h.sent != 1 {
+		t.Fatal("suppression leaked across intervals")
+	}
+}

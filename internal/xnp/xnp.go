@@ -1,0 +1,285 @@
+// Package xnp implements the XNP baseline: TinyOS 1.1's single-hop
+// network reprogramming. The base station broadcasts the whole image
+// packet by packet, then runs query rounds in which in-range nodes
+// report their first missing packet and the base retransmits. Nodes
+// out of the base station's radio range never receive the program —
+// the limitation that motivates multihop protocols like MNP.
+package xnp
+
+import (
+	"fmt"
+	"time"
+
+	"mnp/internal/image"
+	"mnp/internal/node"
+	"mnp/internal/packet"
+)
+
+// Timer IDs.
+const (
+	timerTxData node.TimerID = iota + 1
+	timerQueryRound
+	timerStatusReply
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// Base marks the (single) source.
+	Base bool
+	// Image is required at the base.
+	Image *image.Image
+	// DataInterval paces the broadcast.
+	DataInterval time.Duration
+	// QueryInterval separates retransmission query rounds.
+	QueryInterval time.Duration
+	// StatusDelayMax bounds the receivers' random status-reply delay.
+	StatusDelayMax time.Duration
+	// MaxQuietRounds is how many consecutive empty query rounds end the
+	// repair phase.
+	MaxQuietRounds int
+}
+
+// DefaultConfig returns the parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		DataInterval:   30 * time.Millisecond,
+		QueryInterval:  2 * time.Second,
+		StatusDelayMax: 500 * time.Millisecond,
+		MaxQuietRounds: 3,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.DataInterval == 0 {
+		c.DataInterval = d.DataInterval
+	}
+	if c.QueryInterval == 0 {
+		c.QueryInterval = d.QueryInterval
+	}
+	if c.StatusDelayMax == 0 {
+		c.StatusDelayMax = d.StatusDelayMax
+	}
+	if c.MaxQuietRounds == 0 {
+		c.MaxQuietRounds = d.MaxQuietRounds
+	}
+	return c
+}
+
+// XNP is one node's protocol instance.
+type XNP struct {
+	cfg Config
+	rt  node.Runtime
+
+	// Base side.
+	nextSeq     int
+	retransmits []uint16
+	quietRounds int
+	repairing   bool
+
+	// Receiver side.
+	programID uint8
+	total     int
+	have      []bool
+	haveCount int
+	nominal   int
+	statusDue bool
+}
+
+var _ node.Protocol = (*XNP)(nil)
+
+// New returns an XNP instance.
+func New(cfg Config) *XNP {
+	return &XNP{cfg: cfg.withDefaults(), nominal: image.DefaultSegmentPackets}
+}
+
+// Init implements node.Protocol.
+func (x *XNP) Init(rt node.Runtime) {
+	x.rt = rt
+	rt.RadioOn() // XNP keeps the radio on throughout
+	if !x.cfg.Base {
+		return
+	}
+	if x.cfg.Image == nil {
+		panic("xnp: base station requires an image")
+	}
+	im := x.cfg.Image
+	x.programID = im.ProgramID()
+	x.total = im.TotalPackets()
+	for seq := 0; seq < x.total; seq++ {
+		payload, _ := im.FlatPayload(seq)
+		if err := rt.Store(seq/x.nominal+1, seq%x.nominal, payload); err != nil {
+			panic(fmt.Sprintf("xnp: preloading base image: %v", err))
+		}
+	}
+	rt.Complete()
+	rt.SetTimer(timerTxData, x.cfg.DataInterval)
+}
+
+// slot maps a flat sequence number to an EEPROM (segment, packet) slot.
+func (x *XNP) slot(seq int) (seg, pkt int) {
+	return seq/x.nominal + 1, seq % x.nominal
+}
+
+// OnTimer implements node.Protocol.
+func (x *XNP) OnTimer(id node.TimerID) {
+	switch id {
+	case timerTxData:
+		x.txTick()
+	case timerQueryRound:
+		x.queryRound()
+	case timerStatusReply:
+		x.sendStatus()
+	}
+}
+
+// OnPacket implements node.Protocol.
+func (x *XNP) OnPacket(p packet.Packet, from packet.NodeID) {
+	switch pkt := p.(type) {
+	case *packet.XnpData:
+		x.onData(pkt)
+	case *packet.XnpQueryStatus:
+		x.onQuery(pkt)
+	case *packet.XnpStatus:
+		x.onStatus(pkt)
+	}
+}
+
+// --- base side ---
+
+func (x *XNP) txTick() {
+	if !x.cfg.Base {
+		return
+	}
+	var seq int
+	switch {
+	case x.nextSeq < x.total:
+		seq = x.nextSeq
+		x.nextSeq++
+	case len(x.retransmits) > 0:
+		seq = int(x.retransmits[0])
+		x.retransmits = x.retransmits[1:]
+	default:
+		// Broadcast pass done: start (or continue) query rounds.
+		x.repairing = true
+		x.rt.SetTimer(timerQueryRound, x.cfg.QueryInterval)
+		return
+	}
+	seg, pkt := x.slot(seq)
+	payload := x.rt.Load(seg, pkt)
+	if payload != nil {
+		_ = x.rt.Send(&packet.XnpData{
+			Src:       x.rt.ID(),
+			ProgramID: x.programID,
+			Seq:       uint16(seq),
+			Total:     uint16(x.total),
+			Payload:   payload,
+		})
+	}
+	x.rt.SetTimer(timerTxData, x.cfg.DataInterval)
+}
+
+func (x *XNP) queryRound() {
+	if !x.cfg.Base {
+		return
+	}
+	if len(x.retransmits) > 0 {
+		// Requests arrived during the round: serve them.
+		x.quietRounds = 0
+		x.rt.SetTimer(timerTxData, x.cfg.DataInterval)
+		return
+	}
+	x.quietRounds++
+	_ = x.rt.Send(&packet.XnpQueryStatus{Src: x.rt.ID(), ProgramID: x.programID})
+	interval := x.cfg.QueryInterval
+	if x.quietRounds > x.cfg.MaxQuietRounds {
+		// In-range nodes look satisfied; keep probing slowly in case a
+		// status reply was simply lost.
+		interval *= 10
+	}
+	x.rt.SetTimer(timerQueryRound, interval)
+}
+
+func (x *XNP) onStatus(s *packet.XnpStatus) {
+	if !x.cfg.Base || s.DestID != x.rt.ID() || s.Seq == packet.XnpStatusComplete {
+		return
+	}
+	seq := s.Seq
+	for _, r := range x.retransmits {
+		if r == seq {
+			return
+		}
+	}
+	x.retransmits = append(x.retransmits, seq)
+}
+
+// --- receiver side ---
+
+func (x *XNP) onData(d *packet.XnpData) {
+	if x.cfg.Base {
+		return
+	}
+	if x.have == nil {
+		if d.Total == 0 {
+			return
+		}
+		x.programID = d.ProgramID
+		x.total = int(d.Total)
+		x.have = make([]bool, x.total)
+	}
+	if d.ProgramID != x.programID {
+		return
+	}
+	seq := int(d.Seq)
+	if seq >= x.total || x.have[seq] {
+		return
+	}
+	if err := x.rt.Store(seq/x.nominal+1, seq%x.nominal, d.Payload); err != nil {
+		return
+	}
+	x.have[seq] = true
+	x.haveCount++
+	if x.haveCount == x.total {
+		x.rt.Complete()
+	}
+}
+
+func (x *XNP) onQuery(q *packet.XnpQueryStatus) {
+	if x.cfg.Base || x.have == nil || x.haveCount == x.total {
+		return
+	}
+	if x.statusDue {
+		return
+	}
+	x.statusDue = true
+	delay := time.Duration(x.rt.Rand().Int63n(int64(x.cfg.StatusDelayMax)))
+	x.rt.SetTimer(timerStatusReply, delay)
+}
+
+func (x *XNP) sendStatus() {
+	x.statusDue = false
+	if x.have == nil || x.haveCount == x.total {
+		return
+	}
+	// Report up to statusBatch missing packets per round, one fix
+	// request each (the MAC spaces the burst).
+	const statusBatch = 8
+	sent := 0
+	for seq, ok := range x.have {
+		if ok {
+			continue
+		}
+		err := x.rt.Send(&packet.XnpStatus{
+			Src:       x.rt.ID(),
+			DestID:    0, // the base station
+			ProgramID: x.programID,
+			Seq:       uint16(seq),
+		})
+		if err != nil {
+			return // MAC queue full; the next round retries
+		}
+		if sent++; sent == statusBatch {
+			return
+		}
+	}
+}

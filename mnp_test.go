@@ -1,0 +1,49 @@
+package mnp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExperimentsList(t *testing.T) {
+	specs := Experiments()
+	if len(specs) != 17 {
+		t.Fatalf("got %d experiments, want 17", len(specs))
+	}
+	for _, s := range specs {
+		if s.ID == "" || s.Title == "" || s.Run == nil {
+			t.Fatalf("incomplete spec %+v", s)
+		}
+	}
+}
+
+func TestRunExperimentTable1(t *testing.T) {
+	out, err := RunExperiment("T1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("unexpected report: %q", out)
+	}
+	if _, err := RunExperiment("bogus", 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	res, err := Simulate(Setup{
+		Name: "facade", Rows: 2, Cols: 2, ImagePackets: 32,
+		Protocol: ProtocolMNP, Power: PowerSim, Seed: 1,
+		Limit: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("facade run incomplete")
+	}
+	if err := res.VerifyImages(); err != nil {
+		t.Fatal(err)
+	}
+}
