@@ -1,0 +1,36 @@
+# Development targets for the MNP reproduction. Everything uses only
+# the standard Go toolchain.
+
+GO        ?= go
+BENCH_OUT ?= BENCH_sim.json
+
+.PHONY: build test race vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the simulation-substrate micro-benchmarks plus the
+# end-to-end Figure 8 regeneration and writes the numbers (ns/op,
+# B/op, allocs/op) as JSON to $(BENCH_OUT). The micro-benchmarks get a
+# large fixed iteration count so the lazily built radio tables amortize
+# out; the Fig8 run is seconds per iteration, so two suffice.
+bench: build
+	@rm -f bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkMediumTransmit|BenchmarkKernelSchedule' \
+		-benchmem -benchtime 2000x . | tee bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkFig8ActiveRadioTime$$' \
+		-benchmem -benchtime 2x . | tee -a bench.out
+	$(GO) run ./tools/benchjson < bench.out > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
+
+clean:
+	rm -f bench.out $(BENCH_OUT)

@@ -11,8 +11,15 @@ package mnp
 // and the per-figure reports with cmd/mnpexp.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+	"time"
+
+	"mnp/internal/packet"
+	"mnp/internal/radio"
+	"mnp/internal/sim"
+	"mnp/internal/topology"
 )
 
 // benchSpec runs one experiment spec per benchmark iteration.
@@ -113,3 +120,78 @@ func BenchmarkIdleDutyCycle(b *testing.B) { benchSpec(b, "A5") }
 // 4x larger network with the base station at its center completes in
 // about the same time (design extension A6).
 func BenchmarkScaleCentralBase(b *testing.B) { benchSpec(b, "A6") }
+
+// --- Substrate micro-benchmarks ---
+//
+// The figure benchmarks above measure whole experiments; the two below
+// isolate the simulation substrate's hot paths: Medium.Transmit (the
+// per-frame channel work) and Kernel scheduling (the per-event queue
+// work). They feed BENCH_sim.json via `make bench`.
+
+// BenchmarkMediumTransmit measures one batch of concurrent frame
+// transmissions plus their deliveries on a 400-node (20x20) grid, for
+// varying numbers of simultaneously active transmitters.
+func BenchmarkMediumTransmit(b *testing.B) {
+	for _, active := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("active=%d", active), func(b *testing.B) {
+			k := sim.New(1)
+			layout, err := topology.Grid(20, 20, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := radio.NewMedium(k, layout, radio.DefaultParams(), 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < layout.N(); i++ {
+				id := packet.NodeID(i)
+				if err := m.Register(id, func(packet.Packet, radio.RxMeta) {}); err != nil {
+					b.Fatal(err)
+				}
+				m.SetRadio(id, true)
+			}
+			// Sources spread across the grid (37 is coprime to 400).
+			pkts := make([]*packet.Advertise, active)
+			srcs := make([]packet.NodeID, active)
+			for j := range srcs {
+				srcs[j] = packet.NodeID(j * 37 % layout.N())
+				pkts[j] = &packet.Advertise{Src: srcs[j], ProgramID: 1, ProgramSegments: 5, SegID: 1, SegNominal: 128, TotalPackets: 640}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, src := range srcs {
+					if _, err := m.Transmit(src, pkts[j], radio.PowerSim); err != nil {
+						b.Fatal(err)
+					}
+				}
+				k.Run(time.Hour) // drain the finish events
+			}
+		})
+	}
+}
+
+// BenchmarkKernelSchedule measures the kernel's schedule/fire and
+// schedule/cancel cycles — the per-event cost every simulated timer and
+// frame pays.
+func BenchmarkKernelSchedule(b *testing.B) {
+	b.Run("fire", func(b *testing.B) {
+		k := sim.New(1)
+		fn := func() {}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k.MustSchedule(time.Microsecond, fn)
+			k.Step()
+		}
+	})
+	b.Run("cancel", func(b *testing.B) {
+		k := sim.New(1)
+		fn := func() {}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := k.MustSchedule(time.Microsecond, fn)
+			t.Cancel()
+			k.Step() // reaps the cancelled event
+		}
+	})
+}

@@ -9,9 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 
+	"mnp"
 	"mnp/internal/experiment"
 )
 
@@ -27,6 +29,8 @@ func run(args []string) error {
 	var (
 		list     = fs.Bool("list", false, "list experiments and exit")
 		seed     = fs.Int64("seed", 42, "simulation seed")
+		seeds    = fs.String("seeds", "", "comma-separated seed list; runs each experiment once per seed on a worker pool")
+		workers  = fs.Int("workers", 0, "worker pool size for -seeds (0 = GOMAXPROCS)")
 		parallel = fs.Bool("parallel", false, "run the selected experiments concurrently")
 		csvDir   = fs.String("csv", "", "write the series figures' raw data as CSV files into this directory and exit")
 	)
@@ -65,6 +69,25 @@ func run(args []string) error {
 			specs = append(specs, s)
 		}
 	}
+	if *seeds != "" {
+		seedList, err := parseSeeds(*seeds)
+		if err != nil {
+			return err
+		}
+		// Multi-seed fan-out: each experiment runs once per seed on a
+		// worker pool. RunSeeds merges deterministically — reports come
+		// back in seed-list order no matter which worker finishes first.
+		for _, s := range specs {
+			for _, r := range mnp.RunSeeds(s, seedList, *workers) {
+				if r.Err != nil {
+					return fmt.Errorf("%s seed %d: %w", s.ID, r.Seed, r.Err)
+				}
+				fmt.Printf("=== %s — %s (seed %d) ===\n", s.ID, s.Title, r.Seed)
+				fmt.Println(r.Report)
+			}
+		}
+		return nil
+	}
 	if !*parallel {
 		for _, s := range specs {
 			fmt.Printf("=== %s — %s ===\n", s.ID, s.Title)
@@ -102,4 +125,23 @@ func run(args []string) error {
 		fmt.Println(results[i].out)
 	}
 	return nil
+}
+
+func parseSeeds(list string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-seeds given but no seeds parsed from %q", list)
+	}
+	return out, nil
 }

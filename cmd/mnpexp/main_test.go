@@ -68,6 +68,20 @@ func TestParallelRun(t *testing.T) {
 	}
 }
 
+func TestMultiSeedRun(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-seeds", "5, 9", "-workers", "2", "T1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One report per seed, in seed-list order regardless of which
+	// worker finished first.
+	s5 := strings.Index(out, "(seed 5)")
+	s9 := strings.Index(out, "(seed 9)")
+	if s5 < 0 || s9 < 0 || s5 > s9 {
+		t.Fatalf("multi-seed output misordered:\n%s", out)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Error("no experiments accepted")
@@ -77,5 +91,11 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-seeds", "x", "T1"}); err == nil {
+		t.Error("unparsable seed list accepted")
+	}
+	if err := run([]string{"-seeds", ", ,", "T1"}); err == nil {
+		t.Error("empty seed list accepted")
 	}
 }

@@ -1,0 +1,91 @@
+package mnp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"mnp/internal/experiment"
+)
+
+// Golden SHA-256 digests of the Figure 8 report, captured from the seed
+// revision of the simulator (before the performance work on the radio,
+// kernel, and codec paths). The optimizations are required to be
+// behavior-preserving down to the byte: same RNG draw order, same
+// floating-point values, same report text. If one of these hashes
+// changes, a supposedly transparent optimization altered simulation
+// behavior.
+var goldenF8 = map[int64]string{
+	42: "d126b3620a7dac127751c6766b620551c160832377662105551fdc68654c57c2",
+	7:  "898a48d7d86d2adbca0895a0e3a46239fd69621f01e43000fc5275c7ce219b1f",
+}
+
+func TestF8ReportMatchesSeedRevision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full F8 simulation in -short mode")
+	}
+	for seed, want := range goldenF8 {
+		out, err := RunExperiment("F8", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := hex.EncodeToString(sumOf(out))
+		if got != want {
+			t.Errorf("F8 seed %d report hash = %s, want %s (simulation behavior changed)", seed, got, want)
+		}
+	}
+}
+
+// RunSeeds must produce byte-identical reports to serial runs, in seed
+// order, regardless of worker count — the parallel fan-out may not
+// perturb any individual simulation.
+func TestRunSeedsDeterministicMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full F8 simulations in -short mode")
+	}
+	spec, ok := experiment.ByID("F8")
+	if !ok {
+		t.Fatal("F8 spec missing")
+	}
+	seeds := []int64{42, 7}
+	runs := RunSeeds(spec, seeds, 2)
+	if len(runs) != len(seeds) {
+		t.Fatalf("got %d runs, want %d", len(runs), len(seeds))
+	}
+	for i, r := range runs {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Seed != seeds[i] {
+			t.Fatalf("run %d has seed %d, want %d (merge order broken)", i, r.Seed, seeds[i])
+		}
+		want := goldenF8[r.Seed]
+		if got := hex.EncodeToString(sumOf(r.Report)); got != want {
+			t.Errorf("RunSeeds seed %d report hash = %s, want %s", r.Seed, got, want)
+		}
+	}
+}
+
+func TestRunSeedsEdgeCases(t *testing.T) {
+	spec, _ := experiment.ByID("T1")
+	if got := RunSeeds(spec, nil, 4); len(got) != 0 {
+		t.Fatalf("RunSeeds(nil seeds) returned %d runs", len(got))
+	}
+	// workers <= 0 and workers > len(seeds) both work.
+	for _, workers := range []int{0, 8} {
+		runs := RunSeeds(spec, []int64{1, 2, 3}, workers)
+		for i, r := range runs {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			if r.Seed != []int64{1, 2, 3}[i] {
+				t.Fatalf("workers=%d: run %d out of order", workers, i)
+			}
+		}
+	}
+}
+
+func sumOf(s string) []byte {
+	h := sha256.Sum256([]byte(s))
+	return h[:]
+}

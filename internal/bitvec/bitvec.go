@@ -244,6 +244,84 @@ func (v *Vector) String() string {
 	return b.String()
 }
 
+// Set is a fixed-capacity bit set over dense small-integer keys. Unlike
+// Vector it has no MaxBits cap and no wire format: it exists for the
+// simulator's hot paths (per-receiver audibility and collision marking
+// in internal/radio), where membership tests must be O(1) and a set
+// must be reusable without reallocation.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// NewSet returns a set over keys [0, n).
+func NewSet(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative set capacity %d", n))
+	}
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Cap returns the key-space size the set was built for.
+func (s *Set) Cap() int { return s.n }
+
+// Add inserts key i.
+func (s *Set) Add(i int) {
+	s.checkKey(i)
+	s.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Remove deletes key i.
+func (s *Set) Remove(i int) {
+	s.checkKey(i)
+	s.words[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// Contains reports whether key i is in the set. Keys outside the
+// capacity are simply absent, so callers can probe without bounds
+// checks of their own.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Reset empties the set without releasing its storage.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of keys in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// OrIntersection folds a ∩ b into s (s |= a ∩ b) one word at a time —
+// the radio's collision marking, where every receiver audible to two
+// overlapping transmitters loses both frames. All three sets must share
+// a capacity.
+func (s *Set) OrIntersection(a, b *Set) {
+	if a.n != s.n || b.n != s.n {
+		panic(fmt.Sprintf("bitvec: OrIntersection capacity mismatch (%d, %d, %d)", s.n, a.n, b.n))
+	}
+	for i := range s.words {
+		s.words[i] |= a.words[i] & b.words[i]
+	}
+}
+
+func (s *Set) checkKey(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitvec: key %d out of range [0,%d)", i, s.n))
+	}
+}
+
 func (v *Vector) check(i int) {
 	if i < 0 || i >= v.n {
 		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))

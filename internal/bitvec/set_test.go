@@ -1,0 +1,83 @@
+package bitvec
+
+import "testing"
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(130)
+	if s.Cap() != 130 || s.Count() != 0 {
+		t.Fatalf("fresh set: cap %d count %d", s.Cap(), s.Count())
+	}
+	for _, k := range []int{0, 1, 63, 64, 127, 129} {
+		s.Add(k)
+	}
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count())
+	}
+	for _, k := range []int{0, 1, 63, 64, 127, 129} {
+		if !s.Contains(k) {
+			t.Fatalf("Contains(%d) = false after Add", k)
+		}
+	}
+	if s.Contains(2) || s.Contains(128) {
+		t.Fatal("Contains reports absent keys")
+	}
+	s.Remove(63)
+	if s.Contains(63) || s.Count() != 5 {
+		t.Fatal("Remove did not delete the key")
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Contains(0) {
+		t.Fatal("Reset left keys behind")
+	}
+}
+
+// Out-of-capacity probes are absent, not panics — the radio probes
+// receiver IDs without separate bounds checks.
+func TestSetContainsOutOfRange(t *testing.T) {
+	s := NewSet(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(1<<20) {
+		t.Fatal("out-of-range key reported present")
+	}
+}
+
+func TestSetAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	NewSet(4).Add(4)
+}
+
+func TestOrIntersection(t *testing.T) {
+	s, a, b := NewSet(200), NewSet(200), NewSet(200)
+	s.Add(5) // pre-existing member survives
+	for _, k := range []int{1, 70, 140, 199} {
+		a.Add(k)
+	}
+	for _, k := range []int{70, 141, 199} {
+		b.Add(k)
+	}
+	s.OrIntersection(a, b)
+	for _, k := range []int{5, 70, 199} {
+		if !s.Contains(k) {
+			t.Fatalf("missing %d after OrIntersection", k)
+		}
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	// Inputs are untouched.
+	if a.Count() != 4 || b.Count() != 3 {
+		t.Fatal("OrIntersection mutated its inputs")
+	}
+}
+
+func TestOrIntersectionCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity mismatch did not panic")
+		}
+	}()
+	NewSet(10).OrIntersection(NewSet(10), NewSet(11))
+}

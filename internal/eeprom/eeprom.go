@@ -13,20 +13,28 @@ import (
 // DefaultCapacity is the Mica-2/XSM external flash size in bytes.
 const DefaultCapacity = 512 * 1024
 
-type slotKey struct {
-	seg int
-	pkt int
+// slot is one (segment, packet) cell. present distinguishes an empty
+// payload from an unwritten slot.
+type slot struct {
+	data    []byte
+	writes  int
+	present bool
 }
 
 // Store is a per-node packet store keyed by (segment, packet). It is
 // not safe for concurrent use; in the DES a node owns its store, and in
 // the live runtime each node goroutine owns its own.
+//
+// Slots live in dense per-segment rows rather than a map: segment and
+// packet IDs are small (MNP caps a segment at 128 packets), and the
+// store sits on the simulator's per-delivery hot path, where hashing a
+// key per write was measurable across millions of events.
 type Store struct {
 	capacity int
 	used     int
-	slots    map[slotKey][]byte
-	writes   map[slotKey]int
 	reads    int
+	count    int
+	segs     [][]slot // indexed by segment ID, rows grown on demand
 }
 
 // New returns a store with the given capacity in bytes.
@@ -34,11 +42,19 @@ func New(capacity int) (*Store, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("eeprom: capacity %d must be positive", capacity)
 	}
-	return &Store{
-		capacity: capacity,
-		slots:    make(map[slotKey][]byte),
-		writes:   make(map[slotKey]int),
-	}, nil
+	return &Store{capacity: capacity}, nil
+}
+
+// at returns the slot for (seg, pkt), or nil if it was never written.
+func (s *Store) at(seg, pkt int) *slot {
+	if seg < 0 || seg >= len(s.segs) || pkt < 0 || pkt >= len(s.segs[seg]) {
+		return nil
+	}
+	sl := &s.segs[seg][pkt]
+	if !sl.present {
+		return nil
+	}
+	return sl
 }
 
 // Write stores the payload for packet pkt of segment seg (copying it).
@@ -48,46 +64,63 @@ func (s *Store) Write(seg, pkt int, payload []byte) error {
 	if seg < 1 || pkt < 0 {
 		return fmt.Errorf("eeprom: invalid slot (%d,%d)", seg, pkt)
 	}
-	key := slotKey{seg: seg, pkt: pkt}
-	prev := len(s.slots[key])
+	for seg >= len(s.segs) {
+		s.segs = append(s.segs, nil)
+	}
+	row := s.segs[seg]
+	for pkt >= len(row) {
+		row = append(row, slot{})
+	}
+	s.segs[seg] = row
+	sl := &row[pkt]
+	prev := len(sl.data)
 	if s.used-prev+len(payload) > s.capacity {
 		return fmt.Errorf("eeprom: capacity exceeded (%d + %d > %d)", s.used-prev, len(payload), s.capacity)
 	}
 	s.used += len(payload) - prev
-	s.slots[key] = append([]byte(nil), payload...)
-	s.writes[key]++
+	sl.data = append(sl.data[:0], payload...)
+	sl.writes++
+	if !sl.present {
+		sl.present = true
+		s.count++
+	}
 	return nil
 }
 
 // Read returns a copy of the payload stored for (seg, pkt), or nil if
 // the slot is empty.
 func (s *Store) Read(seg, pkt int) []byte {
-	p, ok := s.slots[slotKey{seg: seg, pkt: pkt}]
-	if !ok {
+	sl := s.at(seg, pkt)
+	if sl == nil {
 		return nil
 	}
 	s.reads++
-	return append([]byte(nil), p...)
+	return append([]byte(nil), sl.data...)
 }
 
 // Has reports whether the slot holds data, without counting as a read.
 func (s *Store) Has(seg, pkt int) bool {
-	_, ok := s.slots[slotKey{seg: seg, pkt: pkt}]
-	return ok
+	return s.at(seg, pkt) != nil
 }
 
 // WriteCount returns the number of times (seg, pkt) has been written.
 func (s *Store) WriteCount(seg, pkt int) int {
-	return s.writes[slotKey{seg: seg, pkt: pkt}]
+	sl := s.at(seg, pkt)
+	if sl == nil {
+		return 0
+	}
+	return sl.writes
 }
 
 // MaxWriteCount returns the largest write count over all slots; 1 means
 // the write-once invariant held.
 func (s *Store) MaxWriteCount() int {
 	maxC := 0
-	for _, c := range s.writes {
-		if c > maxC {
-			maxC = c
+	for _, row := range s.segs {
+		for i := range row {
+			if row[i].present && row[i].writes > maxC {
+				maxC = row[i].writes
+			}
 		}
 	}
 	return maxC
@@ -97,23 +130,27 @@ func (s *Store) MaxWriteCount() int {
 func (s *Store) Used() int { return s.used }
 
 // Slots returns the number of occupied slots.
-func (s *Store) Slots() int { return len(s.slots) }
+func (s *Store) Slots() int { return s.count }
 
 // Erase drops all contents and counters, as the fail state does when a
 // node "releases EEPROM resource".
 func (s *Store) Erase() {
-	s.slots = make(map[slotKey][]byte)
-	s.writes = make(map[slotKey]int)
+	s.segs = nil
 	s.used = 0
+	s.count = 0
 }
 
 // EraseSegment drops the contents of one segment only.
 func (s *Store) EraseSegment(seg int) {
-	for k := range s.slots {
-		if k.seg == seg {
-			s.used -= len(s.slots[k])
-			delete(s.slots, k)
-			delete(s.writes, k)
+	if seg < 0 || seg >= len(s.segs) {
+		return
+	}
+	row := s.segs[seg]
+	for i := range row {
+		if row[i].present {
+			s.used -= len(row[i].data)
+			s.count--
 		}
 	}
+	s.segs[seg] = nil
 }

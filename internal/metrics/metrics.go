@@ -40,10 +40,15 @@ type radioInterval struct {
 	on bool
 }
 
+// numClasses sizes the per-class counters: packet.Class values are the
+// small dense enum 1..4, so fixed arrays replace per-node maps on the
+// per-frame accounting path.
+const numClasses = int(packet.ClassData) + 1
+
 type nodeStats struct {
 	tx, rx, collided int
-	txByClass        map[packet.Class]int
-	rxByClass        map[packet.Class]int
+	txByClass        [numClasses]int
+	rxByClass        [numClasses]int
 	txAir            time.Duration
 	rxAir            time.Duration
 	radio            []radioInterval
@@ -73,8 +78,9 @@ type Collector struct {
 	cfg   Config
 	nodes []nodeStats
 	// windows counts transmissions by class per minute of simulated
-	// time.
-	windows map[int]map[packet.Class]int
+	// time, as a dense series grown on demand (simulated time is
+	// monotone, so the row for the current minute is always the last).
+	windows [][numClasses]int
 	senders []SenderEvent
 
 	now func() time.Duration
@@ -98,14 +104,11 @@ func NewCollector(cfg Config, now func() time.Duration) (*Collector, error) {
 		cfg.Costs = energy.Table1
 	}
 	c := &Collector{
-		cfg:     cfg,
-		nodes:   make([]nodeStats, cfg.Layout.N()),
-		windows: make(map[int]map[packet.Class]int),
-		now:     now,
+		cfg:   cfg,
+		nodes: make([]nodeStats, cfg.Layout.N()),
+		now:   now,
 	}
 	for i := range c.nodes {
-		c.nodes[i].txByClass = make(map[packet.Class]int)
-		c.nodes[i].rxByClass = make(map[packet.Class]int)
 		c.nodes[i].segTimes = make(map[int]time.Duration)
 	}
 	return c, nil
@@ -124,12 +127,10 @@ func (c *Collector) FrameSent(src packet.NodeID, kind packet.Kind, bytes int) {
 	air := c.cfg.Airtime(bytes)
 	st.txAir += air
 	minute := int(c.now() / time.Minute)
-	w := c.windows[minute]
-	if w == nil {
-		w = make(map[packet.Class]int)
-		c.windows[minute] = w
+	for minute >= len(c.windows) {
+		c.windows = append(c.windows, [numClasses]int{})
 	}
-	w[class]++
+	c.windows[minute][class]++
 
 	if c.cfg.NeighborhoodRange > 0 && class == packet.ClassData {
 		now := c.now()
@@ -281,11 +282,17 @@ func (c *Collector) RxCount(id packet.NodeID) int { return c.nodes[id].rx }
 
 // TxByClass returns node id's transmissions of one class.
 func (c *Collector) TxByClass(id packet.NodeID, class packet.Class) int {
+	if int(class) >= numClasses {
+		return 0
+	}
 	return c.nodes[id].txByClass[class]
 }
 
 // RxByClass returns node id's receptions of one class.
 func (c *Collector) RxByClass(id packet.NodeID, class packet.Class) int {
+	if int(class) >= numClasses {
+		return 0
+	}
 	return c.nodes[id].rxByClass[class]
 }
 
@@ -343,15 +350,12 @@ func (c *Collector) ConcurrencyViolations() int { return c.violations }
 // WindowCounts returns the per-minute transmission counts for a class,
 // as a dense series from minute 0 through the last active minute.
 func (c *Collector) WindowCounts(class packet.Class) []int {
-	maxMin := -1
-	for m := range c.windows {
-		if m > maxMin {
-			maxMin = m
-		}
+	out := make([]int, len(c.windows))
+	if int(class) >= numClasses {
+		return out
 	}
-	out := make([]int, maxMin+1)
-	for m, w := range c.windows {
-		out[m] = w[class]
+	for m := range c.windows {
+		out[m] = c.windows[m][class]
 	}
 	return out
 }

@@ -17,6 +17,13 @@ type Network struct {
 	Medium *radio.Medium
 	Layout *topology.Layout
 	Nodes  []*Node
+
+	// satisfiedCursor counts the leading nodes known to be dead or
+	// completed. Both conditions are monotone for a run, so AllCompleted
+	// only ever rechecks the first node that wasn't — RunUntilComplete
+	// evaluates the predicate after every event, and a full O(N) scan
+	// there dominated large-grid runs.
+	satisfiedCursor int
 }
 
 // Factory produces the protocol instance and harness config for node
@@ -66,10 +73,12 @@ func (nw *Network) CompletedCount() int {
 // (dead nodes are excluded: the paper requires coverage of the
 // connected network).
 func (nw *Network) AllCompleted() bool {
-	for _, n := range nw.Nodes {
+	for nw.satisfiedCursor < len(nw.Nodes) {
+		n := nw.Nodes[nw.satisfiedCursor]
 		if !n.Dead() && !n.Completed() {
 			return false
 		}
+		nw.satisfiedCursor++
 	}
 	return true
 }

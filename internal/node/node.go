@@ -189,10 +189,19 @@ type Node struct {
 	rng      *rand.Rand
 	cfg      Config
 
-	timers  map[TimerID]*sim.Timer
-	queue   []queuedFrame
-	sending bool
-	dead    bool
+	// timers and timerFns are indexed by TimerID: protocol timer IDs
+	// are small and dense, so a slice beats a map on the per-event hot
+	// path, and the per-ID callbacks are built once instead of
+	// allocating a closure per SetTimer.
+	timers   []sim.Timer
+	timerFns []func()
+	// attemptFn and afterTxFn are the CSMA callbacks, bound once so the
+	// MAC schedules them without allocating.
+	attemptFn func()
+	afterTxFn func()
+	queue     []queuedFrame
+	sending   bool
+	dead      bool
 
 	completed   bool
 	completedAt time.Duration
@@ -233,10 +242,11 @@ func New(id packet.NodeID, k *sim.Kernel, m *radio.Medium, proto Protocol, cfg C
 		observer: obs,
 		rng:      rand.New(rand.NewSource(int64(id)*0x9E3779B9 ^ 0x51F1)),
 		cfg:      cfg,
-		timers:   make(map[TimerID]*sim.Timer),
 		battery:  cfg.Battery,
 		txPower:  cfg.TxPower,
 	}
+	n.attemptFn = n.attempt
+	n.afterTxFn = n.afterTx
 	if err := m.Register(id, n.onFrame); err != nil {
 		return nil, err
 	}
@@ -253,7 +263,7 @@ func (n *Node) Kill() {
 	for _, t := range n.timers {
 		t.Cancel()
 	}
-	n.timers = make(map[TimerID]*sim.Timer)
+	n.timers = n.timers[:0]
 	n.queue = nil
 	n.sending = false
 	n.medium.Destroy(n.id)
@@ -329,7 +339,7 @@ func (n *Node) congestionBackoff() time.Duration {
 }
 
 func (n *Node) scheduleAttempt(after time.Duration) {
-	n.kernel.MustSchedule(after, n.attempt)
+	n.kernel.MustSchedule(after, n.attemptFn)
 }
 
 // attempt is the CSMA step: carrier-sense, then transmit or back off.
@@ -357,43 +367,52 @@ func (n *Node) attempt() {
 		return
 	}
 	n.queue = n.queue[1:]
-	n.kernel.MustSchedule(air+interFrameGap, func() {
-		if len(n.queue) > 0 {
-			n.scheduleAttempt(n.initialBackoff())
-		} else {
-			n.sending = false
-		}
-	})
+	n.kernel.MustSchedule(air+interFrameGap, n.afterTxFn)
+}
+
+// afterTx runs one inter-frame gap after a transmission: move on to the
+// next queued frame or go idle.
+func (n *Node) afterTx() {
+	if len(n.queue) > 0 {
+		n.scheduleAttempt(n.initialBackoff())
+	} else {
+		n.sending = false
+	}
 }
 
 // SetTimer implements Runtime.
 func (n *Node) SetTimer(id TimerID, d time.Duration) {
-	if n.dead {
+	if n.dead || id < 0 {
 		return
 	}
-	if t, ok := n.timers[id]; ok {
-		t.Cancel()
+	for int(id) >= len(n.timers) {
+		n.timers = append(n.timers, sim.Timer{})
+		n.timerFns = append(n.timerFns, nil)
 	}
-	n.timers[id] = n.kernel.MustSchedule(d, func() {
-		delete(n.timers, id)
-		if !n.dead {
-			n.proto.OnTimer(id)
+	n.timers[id].Cancel()
+	if n.timerFns[id] == nil {
+		id := id
+		n.timerFns[id] = func() {
+			n.timers[id] = sim.Timer{}
+			if !n.dead {
+				n.proto.OnTimer(id)
+			}
 		}
-	})
+	}
+	n.timers[id] = n.kernel.MustSchedule(d, n.timerFns[id])
 }
 
 // CancelTimer implements Runtime.
 func (n *Node) CancelTimer(id TimerID) {
-	if t, ok := n.timers[id]; ok {
-		t.Cancel()
-		delete(n.timers, id)
+	if id >= 0 && int(id) < len(n.timers) {
+		n.timers[id].Cancel()
+		n.timers[id] = sim.Timer{}
 	}
 }
 
 // TimerPending implements Runtime.
 func (n *Node) TimerPending(id TimerID) bool {
-	t, ok := n.timers[id]
-	return ok && t.Active()
+	return id >= 0 && int(id) < len(n.timers) && n.timers[id].Active()
 }
 
 // RadioOn implements Runtime.

@@ -159,27 +159,43 @@ func WireSize(p Packet) int {
 }
 
 // Encode serializes p into a self-describing frame.
-func Encode(p Packet) []byte {
-	payload := p.appendPayload(nil)
-	out := make([]byte, 0, FrameOverhead+len(payload))
-	out = binary.BigEndian.AppendUint16(out, uint16(p.Dest()))
-	out = append(out, byte(p.Kind()))
-	out = append(out, 0x7d) // group, fixed
-	out = append(out, byte(len(payload)))
-	out = append(out, payload...)
-	out = binary.BigEndian.AppendUint16(out, crc16(out))
-	return out
+func Encode(p Packet) []byte { return AppendEncode(nil, p) }
+
+// AppendEncode serializes p into a self-describing frame appended to
+// dst, reusing dst's capacity. The simulator's radio uses it to encode
+// each transmission into a pooled buffer without allocating.
+func AppendEncode(dst []byte, p Packet) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(p.Dest()))
+	dst = append(dst, byte(p.Kind()))
+	dst = append(dst, 0x7d) // group, fixed
+	dst = append(dst, 0)    // payload length, patched below
+	dst = p.appendPayload(dst)
+	dst[start+4] = byte(len(dst) - start - 5)
+	return binary.BigEndian.AppendUint16(dst, crc16(dst[start:]))
 }
 
 // Decode parses a frame produced by Encode and returns the typed
 // message.
-func Decode(frame []byte) (Packet, error) {
+func Decode(frame []byte) (Packet, error) { return decode(frame, true) }
+
+// DecodeTrusted parses a frame known to have been produced by Encode in
+// this process, skipping the CRC verification that Decode performs. The
+// simulated radio uses it on its own cached frames — corruption there
+// is modelled by collision and BER sets, not by bit-flipping the frame
+// bytes — so the checksum can never fail. Frames from outside the
+// process must go through Decode.
+func DecodeTrusted(frame []byte) (Packet, error) { return decode(frame, false) }
+
+func decode(frame []byte, verifyCRC bool) (Packet, error) {
 	if len(frame) < FrameOverhead {
 		return nil, fmt.Errorf("packet: frame too short (%d bytes)", len(frame))
 	}
-	body, crcBytes := frame[:len(frame)-2], frame[len(frame)-2:]
-	if got, want := binary.BigEndian.Uint16(crcBytes), crc16(body); got != want {
-		return nil, fmt.Errorf("packet: CRC mismatch (got %#04x, want %#04x)", got, want)
+	if verifyCRC {
+		body, crcBytes := frame[:len(frame)-2], frame[len(frame)-2:]
+		if got, want := binary.BigEndian.Uint16(crcBytes), crc16(body); got != want {
+			return nil, fmt.Errorf("packet: CRC mismatch (got %#04x, want %#04x)", got, want)
+		}
 	}
 	kind := Kind(frame[2])
 	plen := int(frame[4])
@@ -239,18 +255,28 @@ func newByKind(k Kind) (Packet, error) {
 	}
 }
 
-// crc16 is the CCITT CRC the CC1000 stack uses over the frame body.
-func crc16(data []byte) uint16 {
-	var crc uint16 = 0xFFFF
-	for _, b := range data {
-		crc ^= uint16(b) << 8
-		for i := 0; i < 8; i++ {
+// crcTable holds the byte-indexed CCITT CRC table so crc16 processes a
+// byte per step instead of a bit per step.
+var crcTable = func() (t [256]uint16) {
+	for i := range t {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
 			if crc&0x8000 != 0 {
 				crc = crc<<1 ^ 0x1021
 			} else {
 				crc <<= 1
 			}
 		}
+		t[i] = crc
+	}
+	return t
+}()
+
+// crc16 is the CCITT CRC the CC1000 stack uses over the frame body.
+func crc16(data []byte) uint16 {
+	var crc uint16 = 0xFFFF
+	for _, b := range data {
+		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
 	}
 	return crc
 }

@@ -1,0 +1,158 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"mnp/internal/packet"
+	"mnp/internal/sim"
+	"mnp/internal/topology"
+)
+
+// cacheLayouts builds the layout shapes the experiments use: a grid, a
+// line, and a random placement.
+func cacheLayouts(t *testing.T) []*topology.Layout {
+	t.Helper()
+	grid, err := topology.Grid(6, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := topology.Line(25, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := topology.Random(60, 100, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*topology.Layout{grid, line, random}
+}
+
+// Property: for every layout shape and every configured power level,
+// the medium's cached neighbor lists and audibility bit sets agree
+// exactly with a brute-force topology.Within query.
+func TestCachedNeighborsMatchBruteForce(t *testing.T) {
+	params := DefaultParams()
+	for _, layout := range cacheLayouts(t) {
+		m, err := NewMedium(sim.New(1), layout, params, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for power, rangeFt := range params.TxRangeFeet {
+			tab, err := m.table(power)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := 0; id < layout.N(); id++ {
+				want := layout.Within(packet.NodeID(id), rangeFt)
+				got, err := m.Neighbors(packet.NodeID(id), power)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s power %d node %d: cached %d neighbors, brute force %d",
+						layout.Name(), power, id, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s power %d node %d: neighbor[%d] = %v, want %v",
+							layout.Name(), power, id, i, got[i], want[i])
+					}
+				}
+				// The bit set must encode exactly the same membership.
+				set := tab.sets[id]
+				if set.Count() != len(want) {
+					t.Fatalf("%s power %d node %d: set has %d members, want %d",
+						layout.Name(), power, id, set.Count(), len(want))
+				}
+				inWant := make(map[packet.NodeID]bool, len(want))
+				for _, w := range want {
+					inWant[w] = true
+				}
+				for other := 0; other < layout.N(); other++ {
+					if set.Contains(other) != inWant[packet.NodeID(other)] {
+						t.Fatalf("%s power %d node %d: set.Contains(%d) = %v, want %v",
+							layout.Name(), power, id, other, set.Contains(other), inWant[packet.NodeID(other)])
+					}
+				}
+				// And the cached BER row must match a fresh evaluation.
+				dist := layout.DistanceMatrix()
+				for i, nb := range want {
+					fresh := m.linkBER(packet.NodeID(id), nb, dist[id*layout.N()+int(nb)], rangeFt)
+					if tab.ber[id][i] != fresh {
+						t.Fatalf("%s power %d link %d->%v: cached BER %g, fresh %g",
+							layout.Name(), power, id, nb, tab.ber[id][i], fresh)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Neighbors for an out-of-range node stays (nil, nil), matching the
+// pre-cache behavior.
+func TestNeighborsOutOfRangeNode(t *testing.T) {
+	layout, err := topology.Grid(2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMedium(sim.New(1), layout, DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Neighbors(packet.NodeID(99), PowerSim)
+	if err != nil || got != nil {
+		t.Fatalf("Neighbors(out-of-range) = %v, %v; want nil, nil", got, err)
+	}
+	if _, err := m.Neighbors(0, 9999); err == nil {
+		t.Fatal("unconfigured power level accepted")
+	}
+}
+
+// The returned neighbor slice is a copy: mutating it must not corrupt
+// the cache.
+func TestNeighborsReturnsCopy(t *testing.T) {
+	layout, err := topology.Grid(3, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMedium(sim.New(1), layout, DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.Neighbors(4, PowerSim)
+	if err != nil || len(first) == 0 {
+		t.Fatalf("Neighbors = %v, %v", first, err)
+	}
+	first[0] = 0xAAAA
+	second, err := m.Neighbors(4, PowerSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0] == 0xAAAA {
+		t.Fatal("mutating the returned slice corrupted the cache")
+	}
+}
+
+// Transmissions are recycled through the free list without perturbing
+// delivery: back-to-back frames on a quiet channel all arrive.
+func TestTransmissionPoolReuse(t *testing.T) {
+	layout, err := topology.Grid(1, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newTestNet(t, layout, cleanParams())
+	n.allOn()
+	for i := 0; i < 50; i++ {
+		if _, err := n.m.Transmit(0, adv(0), PowerSim); err != nil {
+			t.Fatal(err)
+		}
+		n.k.Run(time.Hour)
+	}
+	if len(n.rxs) != 50 {
+		t.Fatalf("received %d frames, want 50", len(n.rxs))
+	}
+	if got := len(n.m.freeTx); got != 1 {
+		t.Fatalf("free list holds %d transmissions, want 1 recycled", got)
+	}
+}

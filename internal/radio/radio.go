@@ -6,6 +6,14 @@
 // at a receiver. The hidden-terminal problem — two transmitters out of
 // each other's carrier-sense range colliding at a node between them —
 // falls out of the model rather than being special-cased.
+//
+// Geometry and transmit ranges are immutable for a run, so the medium
+// precomputes, per power level, every node's audible neighbor list,
+// audibility bit set, and directed link BER at first use (the way
+// TOSSIM precomputes its link tables). The per-frame hot path then
+// does no position lookups, no distance math, and no per-frame
+// allocation: transmissions are recycled through a free list and
+// collision marking works on pooled bit sets.
 package radio
 
 import (
@@ -13,6 +21,7 @@ import (
 	"math"
 	"time"
 
+	"mnp/internal/bitvec"
 	"mnp/internal/packet"
 	"mnp/internal/sim"
 	"mnp/internal/topology"
@@ -119,15 +128,38 @@ type nodeState struct {
 	destroyed bool
 }
 
+// transmission is one frame in the air. audible, audSet, and ber are
+// borrowed read-only from the power table; frame and corrupted are
+// owned and recycled with the transmission through the medium's free
+// list.
 type transmission struct {
 	src       packet.NodeID
-	pkt       packet.Packet
 	kind      packet.Kind
 	bytes     int
 	start     time.Duration
 	end       time.Duration
+	frame     []byte
 	audible   []packet.NodeID
-	corrupted map[packet.NodeID]bool
+	audSet    *bitvec.Set
+	ber       []float64
+	corrupted *bitvec.Set
+	// finishFn is the end-of-frame callback, bound once per pooled
+	// transmission so scheduling it never allocates a closure.
+	finishFn func()
+}
+
+func (t *transmission) isAudible(id packet.NodeID) bool { return t.audSet.Contains(int(id)) }
+
+// powerTable is the precomputed channel geometry for one power level:
+// per-source audible neighbor lists (ascending ID, exactly
+// topology.Within), the same sets in bit-set form for O(1) membership
+// tests, and the directed link BERs, which depend only on (src, dst,
+// distance, range, seed).
+type powerTable struct {
+	rangeFt float64
+	neigh   [][]packet.NodeID
+	sets    []*bitvec.Set
+	ber     [][]float64
 }
 
 // Medium is the shared wireless channel. It is driven entirely by the
@@ -140,6 +172,11 @@ type Medium struct {
 	nodes  []nodeState
 	active []*transmission
 	sink   TrafficSink
+
+	n      int
+	dist   []float64           // row-major N×N, from the layout
+	tables map[int]*powerTable // lazily built per power level
+	freeTx []*transmission
 }
 
 // NewMedium builds a channel over layout. seed drives the per-link
@@ -162,7 +199,46 @@ func NewMedium(k *sim.Kernel, layout *topology.Layout, p Params, seed int64) (*M
 		seed:   seed,
 		nodes:  make([]nodeState, layout.N()),
 		sink:   NopSink{},
+		n:      layout.N(),
+		dist:   layout.DistanceMatrix(),
+		tables: make(map[int]*powerTable),
 	}, nil
+}
+
+// table returns the precomputed geometry for a power level, building it
+// on first use. Construction is deterministic, so when a table is built
+// has no observable effect.
+func (m *Medium) table(power int) (*powerTable, error) {
+	if t, ok := m.tables[power]; ok {
+		return t, nil
+	}
+	rng, err := m.RangeFor(power)
+	if err != nil {
+		return nil, err
+	}
+	t := &powerTable{
+		rangeFt: rng,
+		neigh:   make([][]packet.NodeID, m.n),
+		sets:    make([]*bitvec.Set, m.n),
+		ber:     make([][]float64, m.n),
+	}
+	for src := 0; src < m.n; src++ {
+		row := m.dist[src*m.n : (src+1)*m.n]
+		set := bitvec.NewSet(m.n)
+		var ids []packet.NodeID
+		var bers []float64
+		for dst := 0; dst < m.n; dst++ {
+			if dst == src || row[dst] > rng {
+				continue
+			}
+			ids = append(ids, packet.NodeID(dst))
+			bers = append(bers, m.linkBER(packet.NodeID(src), packet.NodeID(dst), row[dst], rng))
+			set.Add(dst)
+		}
+		t.neigh[src], t.sets[src], t.ber[src] = ids, set, bers
+	}
+	m.tables[power] = t
+	return t, nil
 }
 
 // SetSink installs the traffic observer.
@@ -252,13 +328,39 @@ func (m *Medium) Transmitting(id packet.NodeID) bool {
 }
 
 // Neighbors returns the nodes within the transmission range of id at
-// the given power level.
+// the given power level. The returned slice is the caller's to keep.
 func (m *Medium) Neighbors(id packet.NodeID, power int) ([]packet.NodeID, error) {
-	r, err := m.RangeFor(power)
+	tab, err := m.table(power)
 	if err != nil {
 		return nil, err
 	}
-	return m.layout.Within(id, r), nil
+	if int(id) >= m.n {
+		return nil, nil
+	}
+	return append([]packet.NodeID(nil), tab.neigh[id]...), nil
+}
+
+// newTransmission takes a transmission from the free list, or grows the
+// pool. Its corrupted set comes back empty; borrowed table references
+// are overwritten by the caller.
+func (m *Medium) newTransmission() *transmission {
+	if n := len(m.freeTx); n > 0 {
+		t := m.freeTx[n-1]
+		m.freeTx[n-1] = nil
+		m.freeTx = m.freeTx[:n-1]
+		return t
+	}
+	t := &transmission{corrupted: bitvec.NewSet(m.n)}
+	t.finishFn = func() { m.finish(t) }
+	return t
+}
+
+// recycle returns a finished transmission to the free list, dropping
+// the borrowed table references and clearing the collision set.
+func (m *Medium) recycle(t *transmission) {
+	t.audible, t.audSet, t.ber = nil, nil, nil
+	t.corrupted.Reset()
+	m.freeTx = append(m.freeTx, t)
 }
 
 // Transmit broadcasts pkt from src at the given power level and
@@ -277,35 +379,21 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 	if st.everTx && st.txEnd > now {
 		return 0, fmt.Errorf("radio: node %v already transmitting", src)
 	}
-	rng, err := m.RangeFor(power)
+	tab, err := m.table(power)
 	if err != nil {
 		return 0, err
 	}
-	frame := packet.Encode(pkt)
-	air := m.Airtime(len(frame))
-	t := &transmission{
-		src:       src,
-		pkt:       pkt,
-		kind:      pkt.Kind(),
-		bytes:     len(frame),
-		start:     now,
-		end:       now + air,
-		corrupted: make(map[packet.NodeID]bool),
-	}
-	pos, err := m.layout.Pos(src)
-	if err != nil {
-		return 0, err
-	}
-	for i := range m.nodes {
-		id := packet.NodeID(i)
-		if id == src {
-			continue
-		}
-		q, _ := m.layout.Pos(id)
-		if pos.Distance(q) <= rng {
-			t.audible = append(t.audible, id)
-		}
-	}
+	t := m.newTransmission()
+	t.frame = packet.AppendEncode(t.frame[:0], pkt)
+	air := m.Airtime(len(t.frame))
+	t.src = src
+	t.kind = pkt.Kind()
+	t.bytes = len(t.frame)
+	t.start = now
+	t.end = now + air
+	t.audible = tab.neigh[src]
+	t.audSet = tab.sets[src]
+	t.ber = tab.ber[src]
 	// Overlapping audible frames corrupt each other at the common
 	// receivers (this includes the hidden-terminal case), unless the
 	// capture effect lets the markedly stronger frame survive.
@@ -313,35 +401,22 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 		if u.end <= now {
 			continue
 		}
-		for _, r := range t.audible {
-			if !u.isAudible(r) {
-				continue
-			}
-			if m.params.CaptureRatio > 0 {
-				rPos, _ := m.layout.Pos(r)
-				tPos, _ := m.layout.Pos(t.src)
-				uPos, _ := m.layout.Pos(u.src)
-				dt := rPos.Distance(tPos)
-				du := rPos.Distance(uPos)
-				if dt <= m.params.CaptureRatio*du {
-					u.corrupted[r] = true // t captures the receiver
-					continue
-				}
-				if du <= m.params.CaptureRatio*dt {
-					t.corrupted[r] = true // u holds the receiver
-					continue
-				}
-			}
-			t.corrupted[r] = true
-			u.corrupted[r] = true
+		if m.params.CaptureRatio > 0 {
+			m.resolveWithCapture(t, u)
+		} else {
+			// Without capture every common receiver loses both frames:
+			// fold the audibility intersection into both collision sets
+			// a word at a time.
+			t.corrupted.OrIntersection(t.audSet, u.audSet)
+			u.corrupted.OrIntersection(t.audSet, u.audSet)
 		}
 		// A frame arriving at an active transmitter is lost there, and
 		// the new frame is garbled at the other transmitter too.
 		if u.isAudible(src) {
-			u.corrupted[src] = true
+			u.corrupted.Add(int(src))
 		}
 		if t.isAudible(u.src) {
-			t.corrupted[u.src] = true
+			t.corrupted.Add(int(u.src))
 		}
 	}
 
@@ -350,11 +425,33 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 	st.everTx = true
 	m.active = append(m.active, t)
 	m.sink.FrameSent(src, t.kind, t.bytes)
-	m.kernel.MustSchedule(air, func() { m.finish(t, rng) })
+	m.kernel.MustSchedule(air, t.finishFn)
 	return air, nil
 }
 
-func (m *Medium) finish(t *transmission, txRange float64) {
+// resolveWithCapture applies the per-receiver capture rule between a
+// new transmission t and an active one u.
+func (m *Medium) resolveWithCapture(t, u *transmission) {
+	for _, r := range t.audible {
+		if !u.isAudible(r) {
+			continue
+		}
+		dt := m.dist[int(r)*m.n+int(t.src)]
+		du := m.dist[int(r)*m.n+int(u.src)]
+		if dt <= m.params.CaptureRatio*du {
+			u.corrupted.Add(int(r)) // t captures the receiver
+			continue
+		}
+		if du <= m.params.CaptureRatio*dt {
+			t.corrupted.Add(int(r)) // u holds the receiver
+			continue
+		}
+		t.corrupted.Add(int(r))
+		u.corrupted.Add(int(r))
+	}
+}
+
+func (m *Medium) finish(t *transmission) {
 	// Drop t from the active list.
 	for i, u := range m.active {
 		if u == t {
@@ -362,11 +459,13 @@ func (m *Medium) finish(t *transmission, txRange float64) {
 			break
 		}
 	}
-	srcPos, err := m.layout.Pos(t.src)
-	if err != nil {
-		return
-	}
-	for _, r := range t.audible {
+	// The frame is decoded at most once and the decoded message shared
+	// by every receiver. Handlers treat incoming packets as read-only
+	// and every retained byte slice (payloads, bit vectors) is copied at
+	// the storage boundary, so sharing is indistinguishable from the
+	// per-receiver decode it replaced.
+	var decoded packet.Packet
+	for i, r := range t.audible {
 		st := &m.nodes[r]
 		if st.destroyed || !st.on || st.onSince > t.start {
 			continue // radio off for part of the frame
@@ -374,36 +473,38 @@ func (m *Medium) finish(t *transmission, txRange float64) {
 		if st.everTx && st.txEnd > t.start && st.txStart < t.end {
 			continue // half-duplex: was transmitting during the frame
 		}
-		if t.corrupted[r] {
+		if t.corrupted.Contains(int(r)) {
 			m.sink.FrameCollided(r, t.src, t.kind)
 			continue
 		}
-		rPos, _ := m.layout.Pos(r)
-		p := m.linkSuccessProb(t.src, r, srcPos.Distance(rPos), txRange, t.bytes)
+		p := math.Pow(1-t.ber[i], float64(t.bytes*8))
 		if m.kernel.Rand().Float64() >= p {
 			continue // channel bit errors
 		}
-		decoded, err := packet.Decode(packet.Encode(t.pkt))
-		if err != nil {
-			continue
+		if decoded == nil {
+			var err error
+			decoded, err = packet.DecodeTrusted(t.frame)
+			if err != nil {
+				// The frame was produced by Encode at transmit time;
+				// failing to decode it is an invariant violation, not a
+				// channel condition — surface it instead of silently
+				// dropping every delivery.
+				panic(fmt.Sprintf("radio: frame from node %v undecodable at finish: %v", t.src, err))
+			}
 		}
 		m.sink.FrameReceived(r, t.src, t.kind, t.bytes)
 		if st.handler != nil {
 			st.handler(decoded, RxMeta{From: t.src, Bytes: t.bytes, At: m.kernel.Now()})
 		}
 	}
-}
-
-// linkSuccessProb returns the probability that a frame of the given
-// size crosses the directed link src→dst without bit errors.
-func (m *Medium) linkSuccessProb(src, dst packet.NodeID, dist, txRange float64, bytes int) float64 {
-	ber := m.linkBER(src, dst, dist, txRange)
-	return math.Pow(1-ber, float64(bytes*8))
+	m.recycle(t)
 }
 
 // linkBER computes the directed link's bit-error rate: a floor near
 // the transmitter rising exponentially to BERCeil at the communication
-// range, times a stable per-directed-link lognormal factor.
+// range, times a stable per-directed-link lognormal factor. It depends
+// only on immutable run state, so the power tables evaluate it once per
+// directed link.
 func (m *Medium) linkBER(src, dst packet.NodeID, dist, txRange float64) float64 {
 	frac := dist / txRange
 	if frac > 1 {
@@ -447,13 +548,4 @@ func splitmix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
 	return x ^ (x >> 31)
-}
-
-func (t *transmission) isAudible(id packet.NodeID) bool {
-	for _, a := range t.audible {
-		if a == id {
-			return true
-		}
-	}
-	return false
 }

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Fired and cancelled events return to the free list and are reused for
+// later schedules.
+func TestEventFreeListReuse(t *testing.T) {
+	k := New(1)
+	tm := k.MustSchedule(time.Millisecond, func() {})
+	ev := tm.ev
+	k.Run(time.Second)
+	if len(k.free) != 1 || k.free[0] != ev {
+		t.Fatalf("fired event not recycled (free list %d entries)", len(k.free))
+	}
+	tm2 := k.MustSchedule(time.Millisecond, func() {})
+	if tm2.ev != ev {
+		t.Fatal("new schedule did not reuse the recycled event")
+	}
+	tm2.Cancel()
+	k.Run(time.Second)
+	if len(k.free) != 1 || k.free[0] != ev {
+		t.Fatal("cancelled event not recycled")
+	}
+}
+
+// A Timer handle from a previous life of a recycled event is stale: its
+// generation no longer matches, so Cancel must not touch the new event
+// and Active must report false.
+func TestStaleTimerHandleIsInert(t *testing.T) {
+	k := New(1)
+	stale := k.MustSchedule(time.Millisecond, func() {})
+	k.Run(time.Second) // fires; event recycled, generation bumped
+
+	fired := false
+	fresh := k.MustSchedule(time.Millisecond, func() { fired = true })
+	if fresh.ev != stale.ev {
+		t.Fatal("test premise broken: event was not reused")
+	}
+	if stale.Active() {
+		t.Fatal("stale handle reports active")
+	}
+	stale.Cancel() // must not cancel the fresh event
+	if !fresh.Active() {
+		t.Fatal("stale Cancel killed the fresh event")
+	}
+	k.Run(time.Second)
+	if !fired {
+		t.Fatal("fresh event did not fire after stale Cancel")
+	}
+}
+
+// Steady-state scheduling (schedule one, run one, repeat) does not
+// allocate once the pool is warm.
+func TestSteadyStateSchedulingAllocFree(t *testing.T) {
+	k := New(1)
+	k.MustSchedule(0, func() {})
+	k.Run(time.Second) // warm the pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.MustSchedule(time.Microsecond, func() {})
+		k.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state scheduling allocates %.1f per op, want 0", allocs)
+	}
+}

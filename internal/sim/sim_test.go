@@ -71,10 +71,10 @@ func TestCancelPreventsExecution(t *testing.T) {
 	}
 	// Cancel is idempotent and safe after the run.
 	tm.Cancel()
-	var nilTimer *Timer
-	nilTimer.Cancel() // must not panic
-	if nilTimer.Active() {
-		t.Fatal("nil timer active")
+	var zeroTimer Timer
+	zeroTimer.Cancel() // must not panic
+	if zeroTimer.Active() {
+		t.Fatal("zero timer active")
 	}
 }
 
@@ -219,7 +219,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 
 func TestCancelledEventsReapedFromPeek(t *testing.T) {
 	k := New(1)
-	timers := make([]*Timer, 100)
+	timers := make([]Timer, 100)
 	for i := range timers {
 		timers[i] = k.MustSchedule(time.Millisecond, func() {})
 	}

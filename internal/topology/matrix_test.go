@@ -1,0 +1,81 @@
+package topology
+
+import (
+	"testing"
+
+	"mnp/internal/packet"
+)
+
+func matrixLayouts(t *testing.T) []*Layout {
+	t.Helper()
+	grid, err := Grid(5, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := Line(12, 7.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Random(30, 80, 80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*Layout{grid, line, random}
+}
+
+func TestDistanceMatrixMatchesDistance(t *testing.T) {
+	for _, l := range matrixLayouts(t) {
+		n := l.N()
+		d := l.DistanceMatrix()
+		if len(d) != n*n {
+			t.Fatalf("%s: matrix has %d entries, want %d", l.Name(), len(d), n*n)
+		}
+		for a := 0; a < n; a++ {
+			if d[a*n+a] != 0 {
+				t.Fatalf("%s: nonzero diagonal at %d", l.Name(), a)
+			}
+			for b := 0; b < n; b++ {
+				want, err := l.Distance(packet.NodeID(a), packet.NodeID(b))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Cached entries must be bit-identical to a fresh
+				// computation — the radio's determinism depends on it.
+				if d[a*n+b] != want {
+					t.Fatalf("%s: dist[%d,%d] = %v, want %v", l.Name(), a, b, d[a*n+b], want)
+				}
+				if d[a*n+b] != d[b*n+a] {
+					t.Fatalf("%s: matrix asymmetric at (%d,%d)", l.Name(), a, b)
+				}
+			}
+		}
+		// The matrix is cached: a second call returns the same backing
+		// array.
+		if &d[0] != &l.DistanceMatrix()[0] {
+			t.Fatalf("%s: DistanceMatrix not cached", l.Name())
+		}
+	}
+}
+
+func TestNeighborsWithinMatchesWithin(t *testing.T) {
+	for _, l := range matrixLayouts(t) {
+		for _, radius := range []float64{0, 7.5, 10, 15, 27, 1000} {
+			table := l.NeighborsWithin(radius)
+			if len(table) != l.N() {
+				t.Fatalf("%s: table has %d rows, want %d", l.Name(), len(table), l.N())
+			}
+			for id := 0; id < l.N(); id++ {
+				want := l.Within(packet.NodeID(id), radius)
+				got := table[id]
+				if len(got) != len(want) {
+					t.Fatalf("%s r=%g node %d: %d neighbors, want %d", l.Name(), radius, id, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s r=%g node %d: neighbor[%d] = %v, want %v", l.Name(), radius, id, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

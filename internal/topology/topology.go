@@ -29,6 +29,10 @@ type Layout struct {
 	points []Point
 	rows   int
 	cols   int
+
+	// dist caches the dense pairwise distance matrix; see
+	// DistanceMatrix.
+	dist []float64
 }
 
 // Grid places rows×cols motes with the given spacing (feet), row-major
@@ -116,6 +120,53 @@ func (l *Layout) Distance(a, b packet.NodeID) (float64, error) {
 		return 0, err
 	}
 	return pa.Distance(pb), nil
+}
+
+// DistanceMatrix returns the dense row-major N×N matrix of pairwise
+// distances in feet: entry [a*N+b] is the distance between nodes a and
+// b. Geometry is immutable, so the matrix is computed once on first
+// call and cached; like the rest of a simulation's state it is not safe
+// to build from multiple goroutines concurrently. The radio layer uses
+// it to precompute per-power neighbor tables instead of re-deriving
+// distances on every frame.
+func (l *Layout) DistanceMatrix() []float64 {
+	if l.dist != nil {
+		return l.dist
+	}
+	n := len(l.points)
+	d := make([]float64, n*n)
+	for a := 0; a < n; a++ {
+		row := d[a*n : (a+1)*n]
+		pa := l.points[a]
+		for b := a + 1; b < n; b++ {
+			v := pa.Distance(l.points[b])
+			row[b] = v
+			d[b*n+a] = v
+		}
+	}
+	l.dist = d
+	return d
+}
+
+// NeighborsWithin returns, for every node, the IDs of all other nodes
+// at distance <= radius in ascending ID order — one precomputed
+// adjacency table for the whole layout. Row id is identical to
+// Within(id, radius).
+func (l *Layout) NeighborsWithin(radius float64) [][]packet.NodeID {
+	n := len(l.points)
+	dist := l.DistanceMatrix()
+	out := make([][]packet.NodeID, n)
+	for a := 0; a < n; a++ {
+		row := dist[a*n : (a+1)*n]
+		var ids []packet.NodeID
+		for b := 0; b < n; b++ {
+			if b != a && row[b] <= radius {
+				ids = append(ids, packet.NodeID(b))
+			}
+		}
+		out[a] = ids
+	}
+	return out
 }
 
 // Within returns the IDs of all nodes other than id at distance <=

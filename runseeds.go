@@ -1,0 +1,55 @@
+package mnp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SeedRun couples one seed with the report that an experiment produced
+// for it.
+type SeedRun struct {
+	Seed   int64
+	Report string
+	Err    error
+}
+
+// RunSeeds reproduces one experiment across many seeds on a pool of
+// workers and returns one SeedRun per seed. Each seed's simulation is a
+// fully independent, single-threaded run — the kernel, medium and nodes
+// share no state between seeds — so fanning out across OS threads
+// cannot perturb any individual run. Results are merged
+// deterministically: out[i] always corresponds to seeds[i], regardless
+// of the order in which workers finish.
+//
+// workers <= 0 selects GOMAXPROCS. A nil or empty seed list returns an
+// empty slice.
+func RunSeeds(spec Spec, seeds []int64, workers int) []SeedRun {
+	out := make([]SeedRun, len(seeds))
+	if len(seeds) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				report, err := spec.Run(seeds[i])
+				out[i] = SeedRun{Seed: seeds[i], Report: report, Err: err}
+			}
+		}()
+	}
+	for i := range seeds {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
