@@ -4,7 +4,9 @@
 GO        ?= go
 BENCH_OUT ?= BENCH_sim.json
 
-.PHONY: build test race vet bench clean
+FUZZTIME ?= 10s
+
+.PHONY: build test race race-short vet fuzz-short bench clean
 
 build:
 	$(GO) build ./...
@@ -15,8 +17,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-short skips the long soak/golden simulations — the CI-friendly
+# race pass.
+race-short:
+	$(GO) test -race -short ./...
+
 vet:
 	$(GO) vet ./...
+
+# fuzz-short runs each native fuzz target for a fixed small budget
+# (override with FUZZTIME=30s etc.). The go tool accepts one -fuzz
+# target per invocation, hence one line per target.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz 'FuzzMNPPacketSequence' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz 'FuzzRuntimeOps' -fuzztime $(FUZZTIME) ./internal/node/nodetest/
 
 # bench runs the simulation-substrate micro-benchmarks plus the
 # end-to-end Figure 8 regeneration and writes the numbers (ns/op,

@@ -3,6 +3,12 @@
 //	mnpexp -list          # show available experiments
 //	mnpexp T1 F5 EDEL     # run specific experiments
 //	mnpexp all            # run everything (minutes of CPU)
+//
+// It also runs chaos deployments — dissemination under an injected
+// fault plan with the protocol-invariant checker attached:
+//
+//	mnpexp -faults 'reboot:7@30s+10s; eeprom:*:0.01'
+//	mnpexp -faults 'randkill:6@20s-145s' -rows 8 -cols 8 -seed 22
 package main
 
 import (
@@ -12,9 +18,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mnp"
 	"mnp/internal/experiment"
+	"mnp/internal/faults"
+	"mnp/internal/invariant"
 )
 
 func main() {
@@ -33,9 +42,19 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "worker pool size for -seeds (0 = GOMAXPROCS)")
 		parallel = fs.Bool("parallel", false, "run the selected experiments concurrently")
 		csvDir   = fs.String("csv", "", "write the series figures' raw data as CSV files into this directory and exit")
+		faultStr = fs.String("faults", "", "run a chaos deployment under this fault spec (e.g. 'crash:5@20s; eeprom:*:0.01'); see internal/faults")
+		rows     = fs.Int("rows", 8, "chaos deployment grid rows (-faults only)")
+		cols     = fs.Int("cols", 8, "chaos deployment grid cols (-faults only)")
+		packets  = fs.Int("packets", 128, "chaos deployment image size in packets (-faults only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *faultStr != "" {
+		if len(fs.Args()) > 0 {
+			return fmt.Errorf("-faults runs its own deployment; drop the experiment IDs %v", fs.Args())
+		}
+		return runChaos(*faultStr, *rows, *cols, *packets, *seed)
 	}
 	if *list {
 		for _, s := range experiment.AllSpecs() {
@@ -123,6 +142,59 @@ func run(args []string) error {
 		}
 		fmt.Printf("=== %s — %s ===\n", s.ID, s.Title)
 		fmt.Println(results[i].out)
+	}
+	return nil
+}
+
+// runChaos executes one dissemination run under the parsed fault plan
+// with the invariant checker attached, then reports the outcome: who
+// died, who completed, how many EEPROM faults were absorbed, and
+// whether every surviving image is byte-identical and every protocol
+// invariant held.
+func runChaos(spec string, rows, cols, packets int, seed int64) error {
+	plan, err := faults.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(plan)
+	res, err := experiment.Run(experiment.Setup{
+		Name: "chaos", Rows: rows, Cols: cols, ImagePackets: packets,
+		Seed: seed, Limit: 12 * time.Hour,
+		Faults:     plan,
+		Invariants: &invariant.Config{},
+	})
+	if err != nil {
+		return err
+	}
+	dead, completed, eepromFaults := 0, 0, 0
+	for _, n := range res.Network.Nodes {
+		if n.Dead() {
+			dead++
+		} else if n.Completed() {
+			completed++
+		}
+		eepromFaults += n.EEPROM().FaultCount()
+	}
+	fmt.Printf("nodes: %d total, %d dead, %d survivors completed\n",
+		res.Layout.N(), dead, completed)
+	if eepromFaults > 0 {
+		fmt.Printf("eeprom: absorbed %d injected write faults\n", eepromFaults)
+	}
+	if res.Completed {
+		fmt.Printf("completion: %v\n", res.CompletionTime)
+	} else {
+		fmt.Println("completion: survivors did not all finish within the limit")
+	}
+	if err := res.VerifyImages(); err != nil {
+		return fmt.Errorf("image verification: %w", err)
+	}
+	fmt.Println("images: every survivor holds a byte-identical copy")
+	if err := res.VerifyInvariants(); err != nil {
+		return fmt.Errorf("invariant check: %w", err)
+	}
+	fmt.Println("invariants: write-once, in-order, advertisement, sleep, sender-exclusivity all held")
+	if !res.Completed {
+		return fmt.Errorf("chaos run incomplete")
 	}
 	return nil
 }

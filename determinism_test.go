@@ -3,9 +3,14 @@ package mnp
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	"mnp/internal/experiment"
+	"mnp/internal/faults"
+	"mnp/internal/invariant"
 )
 
 // Golden SHA-256 digests of the Figure 8 report, captured from the seed
@@ -82,6 +87,42 @@ func TestRunSeedsEdgeCases(t *testing.T) {
 				t.Fatalf("workers=%d: run %d out of order", workers, i)
 			}
 		}
+	}
+}
+
+// goldenChaos pins the full per-node outcome of a crash+reboot run at
+// seed 42: fault plans draw from their own seeded RNG, so a faulted
+// run must be exactly as reproducible as a clean one. If this hash
+// changes, either the fault-injection layer started consuming shared
+// randomness or a behavior-preserving change wasn't.
+const goldenChaos = "2511afdd862ab59f133526dcb034d110cabb917b5eb0ad88ec1affe86e7f192a"
+
+func TestChaosRunMatchesGolden(t *testing.T) {
+	res, err := experiment.Run(experiment.Setup{
+		Name: "chaos-golden", Rows: 4, Cols: 4, ImagePackets: 128, Seed: 42,
+		Limit: 6 * time.Hour,
+		Faults: &faults.Plan{Events: []faults.Event{
+			faults.CrashReboot(15, 30*time.Second, 10*time.Second),
+			faults.EEPROMErrors(faults.Wildcard, 0.02, 0, 0),
+		}},
+		Invariants: &invariant.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "completed=%v at=%v\n", res.Completed, res.CompletionTime)
+	for _, n := range res.Network.Nodes {
+		fmt.Fprintf(&b, "%v dead=%v completed=%v at=%v slots=%d faults=%d\n",
+			n.ID(), n.Dead(), n.Completed(), n.CompletedAt(),
+			n.EEPROM().Slots(), n.EEPROM().FaultCount())
+	}
+	if got := hex.EncodeToString(sumOf(b.String())); got != goldenChaos {
+		t.Errorf("chaos run report hash = %s, want %s (fault injection is no longer deterministic)\n%s",
+			got, goldenChaos, b.String())
 	}
 }
 

@@ -286,6 +286,9 @@ func (m *MNP) Init(rt node.Runtime) {
 		for seg := 1; seg <= im.Segments(); seg++ {
 			n, _ := im.PacketsIn(seg)
 			for pkt := 0; pkt < n; pkt++ {
+				if rt.HasPacket(seg, pkt) {
+					continue // rebooting base: flash already holds the image
+				}
 				payload, _ := im.Payload(seg, pkt)
 				if err := rt.Store(seg, pkt, payload); err != nil {
 					panic(fmt.Sprintf("core: preloading base image: %v", err))
@@ -685,6 +688,49 @@ func (m *MNP) learnGeometry(a *packet.Advertise) {
 		segments:     int(a.ProgramSegments),
 		segNominal:   int(a.SegNominal),
 		totalPackets: int(a.TotalPackets),
+	}
+	m.recoverFromStore()
+	if m.rvdSeg > 0 && m.state == StateIdle && m.canAdvertise() {
+		// A rebooted node recovered whole segments: resume the source
+		// role it held before the crash.
+		m.enterAdvertise()
+	}
+}
+
+// recoverFromStore rebuilds the receiver's RAM progress (RvdSegID and
+// the MissingVector) from EEPROM contents once the program geometry is
+// known. On a mote flash survives a reboot while RAM does not; without
+// this scan a crashed-and-rebooted node would download — and rewrite —
+// packets it already holds, breaking the write-once guarantee. On a
+// fresh node the store is empty and the scan changes nothing.
+func (m *MNP) recoverFromStore() {
+	for seg := 1; seg <= m.geom.segments; seg++ {
+		n := m.geom.packetsIn(seg)
+		held := 0
+		for pkt := 0; pkt < n; pkt++ {
+			if m.rt.HasPacket(seg, pkt) {
+				held++
+			}
+		}
+		if held == n && n > 0 {
+			m.rvdSeg = seg
+			continue
+		}
+		if held > 0 && n <= bitvec.MaxBits {
+			// Partial next segment: resume its download where it stopped.
+			if v, err := bitvec.AllSet(n); err == nil {
+				for pkt := 0; pkt < n; pkt++ {
+					if m.rt.HasPacket(seg, pkt) {
+						v.Clear(pkt)
+					}
+				}
+				m.missing = v
+			}
+		}
+		return
+	}
+	if m.rvdSeg == m.geom.segments && m.geom.segments > 0 {
+		m.rt.Complete()
 	}
 }
 

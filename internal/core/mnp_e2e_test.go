@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mnp/internal/image"
+	"mnp/internal/invariant"
 	"mnp/internal/node"
 	"mnp/internal/packet"
 	"mnp/internal/radio"
@@ -12,13 +13,16 @@ import (
 	"mnp/internal/topology"
 )
 
-// testnet bundles a full simulated MNP deployment.
+// testnet bundles a full simulated MNP deployment. Every net built by
+// buildNet runs with the online protocol-invariant checker attached;
+// verifyAll enforces it.
 type testnet struct {
 	kernel  *sim.Kernel
 	medium  *radio.Medium
 	network *node.Network
 	img     *image.Image
 	protos  []*MNP
+	checker *invariant.Checker
 }
 
 type netOpts struct {
@@ -59,7 +63,23 @@ func buildNet(t *testing.T, o netOpts) *testnet {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tn := &testnet{kernel: kernel, medium: medium, img: img}
+	rangeFt, err := medium.RangeFor(o.power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := invariant.New(invariant.Config{
+		Now:     kernel.Now,
+		Airtime: medium.Airtime,
+		Neighbor: func(a, b packet.NodeID) bool {
+			d, err := layout.Distance(a, b)
+			return err == nil && d <= rangeFt
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium.SetTap(chk.PacketSent)
+	tn := &testnet{kernel: kernel, medium: medium, img: img, checker: chk}
 	nw, err := node.NewNetwork(kernel, medium, layout, func(id packet.NodeID) (node.Protocol, node.Config) {
 		cfg := DefaultConfig()
 		if id == 0 {
@@ -72,7 +92,7 @@ func buildNet(t *testing.T, o netOpts) *testnet {
 		m := New(cfg)
 		tn.protos = append(tn.protos, m)
 		return m, node.Config{TxPower: o.power}
-	}, nil)
+	}, chk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,6 +126,7 @@ func (tn *testnet) verifyAll(t *testing.T) {
 			t.Fatalf("node %v: EEPROM write-once violated (max %d)", n.ID(), w)
 		}
 	}
+	tn.checker.Check(t)
 }
 
 func TestTwoNodeDissemination(t *testing.T) {

@@ -35,6 +35,12 @@ type Store struct {
 	reads    int
 	count    int
 	segs     [][]slot // indexed by segment ID, rows grown on demand
+
+	// writeFault, when set, is consulted before each write; a non-nil
+	// error fails the write with no state change (the flash driver
+	// detected a bad page program). Fault injection installs it.
+	writeFault func(seg, pkt int) error
+	faults     int
 }
 
 // New returns a store with the given capacity in bytes.
@@ -63,6 +69,12 @@ func (s *Store) at(seg, pkt int) *slot {
 func (s *Store) Write(seg, pkt int, payload []byte) error {
 	if seg < 1 || pkt < 0 {
 		return fmt.Errorf("eeprom: invalid slot (%d,%d)", seg, pkt)
+	}
+	if s.writeFault != nil {
+		if err := s.writeFault(seg, pkt); err != nil {
+			s.faults++
+			return err
+		}
 	}
 	for seg >= len(s.segs) {
 		s.segs = append(s.segs, nil)
@@ -125,6 +137,14 @@ func (s *Store) MaxWriteCount() int {
 	}
 	return maxC
 }
+
+// SetWriteFault installs (or, with nil, removes) a write-fault
+// injector. A successful retry after a failed write still counts as
+// the slot's first write.
+func (s *Store) SetWriteFault(f func(seg, pkt int) error) { s.writeFault = f }
+
+// FaultCount returns how many writes the injected fault rejected.
+func (s *Store) FaultCount() int { return s.faults }
 
 // Used returns the number of bytes stored.
 func (s *Store) Used() int { return s.used }

@@ -11,7 +11,9 @@ import (
 
 	"mnp/internal/core"
 	"mnp/internal/deluge"
+	"mnp/internal/faults"
 	"mnp/internal/image"
+	"mnp/internal/invariant"
 	"mnp/internal/metrics"
 	"mnp/internal/moap"
 	"mnp/internal/node"
@@ -88,6 +90,15 @@ type Setup struct {
 	// Observer, when non-nil, receives node observations alongside the
 	// metrics collector (e.g. a trace.Log).
 	Observer node.Observer
+	// Faults, when non-nil, is a fault plan scheduled onto the kernel
+	// before the run starts (crashes, reboots, partitions, EEPROM
+	// errors). Plans are seeded from Seed and fully reproducible.
+	Faults *faults.Plan
+	// Invariants, when non-nil, attaches an online protocol-invariant
+	// checker to the run. Build fills the clock, neighborhood, and
+	// airtime hooks; set fields like AllowRadioOnInSleep or
+	// SenderOverlapBudget here. Use &invariant.Config{} for defaults.
+	Invariants *invariant.Config
 }
 
 func (s Setup) withDefaults() Setup {
@@ -118,6 +129,10 @@ type Result struct {
 	Collector *metrics.Collector
 	Image     *image.Image
 	Kernel    *sim.Kernel
+
+	// Invariants is the attached checker, nil unless Setup.Invariants
+	// was set.
+	Invariants *invariant.Checker
 
 	// Completed reports whether every node finished within Limit.
 	Completed bool
@@ -226,13 +241,45 @@ func Build(s Setup) (*Result, error) {
 			return core.New(cfg), ncfg
 		}
 	}
+	var checker *invariant.Checker
 	var obs node.Observer = collector
+	observers := node.MultiObserver{collector}
 	if s.Observer != nil {
-		obs = node.MultiObserver{collector, s.Observer}
+		observers = append(observers, s.Observer)
+	}
+	if s.Invariants != nil {
+		icfg := *s.Invariants
+		icfg.Now = kernel.Now
+		icfg.Airtime = medium.Airtime
+		icfg.Neighbor = func(a, b packet.NodeID) bool {
+			d, err := layout.Distance(a, b)
+			return err == nil && d <= rangeFt
+		}
+		checker, err = invariant.New(icfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+		}
+		observers = append(observers, checker)
+		medium.SetTap(checker.PacketSent)
+	}
+	if len(observers) > 1 {
+		obs = observers
 	}
 	nw, err := node.NewNetwork(kernel, medium, layout, factory, obs)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	if s.Faults != nil {
+		err := s.Faults.Apply(faults.Env{
+			Kernel:  kernel,
+			Network: nw,
+			Medium:  medium,
+			Seed:    s.Seed,
+			Base:    s.BaseID,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+		}
 	}
 	return &Result{
 		Setup:     s,
@@ -242,7 +289,18 @@ func Build(s Setup) (*Result, error) {
 		Collector: collector,
 		Image:     img,
 		Kernel:    kernel,
+
+		Invariants: checker,
 	}, nil
+}
+
+// VerifyInvariants returns the checker's first recorded violation, or
+// nil when no checker was attached or every invariant held.
+func (r *Result) VerifyInvariants() error {
+	if r.Invariants == nil {
+		return nil
+	}
+	return r.Invariants.Err()
 }
 
 // VerifyImages checks the reliability requirement on every node and

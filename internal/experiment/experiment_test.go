@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mnp/internal/image"
+	"mnp/internal/invariant"
 	"mnp/internal/packet"
 	"mnp/internal/radio"
 	"mnp/internal/topology"
@@ -77,7 +78,8 @@ func TestProtocolStrings(t *testing.T) {
 }
 
 func TestSmallRunCompletesAndVerifies(t *testing.T) {
-	res, err := Run(Setup{Name: "small", Rows: 3, Cols: 3, ImagePackets: 64, Seed: 5, Limit: time.Hour})
+	res, err := Run(Setup{Name: "small", Rows: 3, Cols: 3, ImagePackets: 64, Seed: 5, Limit: time.Hour,
+		Invariants: &invariant.Config{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,6 +87,9 @@ func TestSmallRunCompletesAndVerifies(t *testing.T) {
 		t.Fatalf("incomplete: %d/%d", res.Network.CompletedCount(), len(res.Network.Nodes))
 	}
 	if err := res.VerifyImages(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyInvariants(); err != nil {
 		t.Fatal(err)
 	}
 	if res.CompletionTime <= 0 {
@@ -206,7 +211,7 @@ func TestMOAPRunCompletes(t *testing.T) {
 	res, err := Run(Setup{
 		Name: "moap-small", Rows: 2, Cols: 3,
 		ImagePackets: 64, Protocol: ProtocolMOAP, Seed: 4,
-		Limit: 6 * time.Hour,
+		Limit: 6 * time.Hour, Invariants: &invariant.Config{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -215,6 +220,9 @@ func TestMOAPRunCompletes(t *testing.T) {
 		t.Fatalf("MOAP incomplete: %d/%d", res.Network.CompletedCount(), len(res.Network.Nodes))
 	}
 	if err := res.VerifyImages(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -226,7 +234,7 @@ func TestCustomLayoutOverridesGrid(t *testing.T) {
 	}
 	res, err := Run(Setup{
 		Name: "custom-layout", Layout: layout, ImagePackets: 64,
-		Seed: 9, Limit: 4 * time.Hour,
+		Seed: 9, Limit: 4 * time.Hour, Invariants: &invariant.Config{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -238,6 +246,9 @@ func TestCustomLayoutOverridesGrid(t *testing.T) {
 		t.Fatalf("random-layout run incomplete: %d/%d", res.Network.CompletedCount(), layout.N())
 	}
 	if err := res.VerifyImages(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }

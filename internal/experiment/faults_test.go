@@ -4,58 +4,48 @@ import (
 	"testing"
 	"time"
 
+	"mnp/internal/faults"
+	"mnp/internal/invariant"
 	"mnp/internal/packet"
 )
 
 // TestRandomNodeDeathsDuringDissemination kills a series of random
-// non-base nodes while the wave is in flight. The dense 8x8 grid stays
+// non-base nodes while the wave is in flight, using a declarative
+// fault plan (victims are drawn from the plan's seeded RNG, so the
+// same seed always kills the same nodes). The dense 8x8 grid stays
 // connected, so the paper's coverage requirement applies to the
 // survivors — all of them must still complete with byte-identical
-// images.
+// images, and no protocol invariant may break along the way.
 func TestRandomNodeDeathsDuringDissemination(t *testing.T) {
-	res2, err := Build(Setup{
+	res, err := Run(Setup{
 		Name: "faults2", Rows: 8, Cols: 8, ImagePackets: 128, Seed: 22,
+		Limit: 6 * time.Hour,
+		Faults: &faults.Plan{Events: []faults.Event{
+			faults.RandomCrashes(6, 20*time.Second, 145*time.Second),
+		}},
+		Invariants: &invariant.Config{},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := res2.Kernel.Rand()
-	killed := make(map[packet.NodeID]bool)
-	for i := 0; i < 6; i++ {
-		at := time.Duration(20+i*25) * time.Second
-		res2.Kernel.MustSchedule(at, func() {
-			// Pick a live non-base victim.
-			for tries := 0; tries < 20; tries++ {
-				id := packet.NodeID(1 + rng.Intn(res2.Layout.N()-1))
-				if !killed[id] {
-					killed[id] = true
-					res2.Network.Node(id).Kill()
-					return
-				}
-			}
-		})
-	}
-	res2.Network.Start()
-	if !res2.Network.RunUntilComplete(6 * time.Hour) {
-		t.Fatalf("survivors incomplete: %d/%d live",
-			res2.Network.CompletedCount(), res2.Layout.N()-len(killed))
-	}
-	if len(killed) == 0 {
-		t.Fatal("no nodes were killed")
-	}
-	for _, n := range res2.Network.Nodes {
+	killed := 0
+	for _, n := range res.Network.Nodes {
 		if n.Dead() {
-			continue
+			killed++
 		}
-		data, err := res2.Image.Reassemble(func(seg, pkt int) []byte {
-			return n.EEPROM().Read(seg, pkt)
-		})
-		if err != nil {
-			t.Fatalf("survivor %v: %v", n.ID(), err)
-		}
-		if !res2.Image.Verify(data) {
-			t.Fatalf("survivor %v image mismatch", n.ID())
-		}
+	}
+	if killed != 6 {
+		t.Fatalf("killed %d nodes, want 6", killed)
+	}
+	if !res.Completed {
+		t.Fatalf("survivors incomplete: %d/%d live",
+			res.Network.CompletedCount(), res.Layout.N()-killed)
+	}
+	if err := res.VerifyImages(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -64,6 +54,7 @@ func TestRandomNodeDeathsDuringDissemination(t *testing.T) {
 func TestBaseStationDiesAfterSeeding(t *testing.T) {
 	res, err := Build(Setup{
 		Name: "base-death", Rows: 5, Cols: 5, ImagePackets: 128, Seed: 23,
+		Invariants: &invariant.Config{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +75,9 @@ func TestBaseStationDiesAfterSeeding(t *testing.T) {
 		t.Fatalf("coverage incomplete after base death: %d/%d",
 			res.Network.CompletedCount(), res.Layout.N())
 	}
+	if err := res.VerifyInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestKilledMidTransferSenderRecovers kills whichever node first
@@ -92,6 +86,7 @@ func TestBaseStationDiesAfterSeeding(t *testing.T) {
 func TestKilledMidTransferSenderRecovers(t *testing.T) {
 	res, err := Build(Setup{
 		Name: "sender-death", Rows: 4, Cols: 4, Spacing: 15, ImagePackets: 256, Seed: 24,
+		Invariants: &invariant.Config{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -121,5 +116,8 @@ func TestKilledMidTransferSenderRecovers(t *testing.T) {
 	if !done {
 		t.Fatalf("network did not recover from sender %v's death: %d/%d",
 			victim, res.Network.CompletedCount(), res.Layout.N())
+	}
+	if err := res.VerifyInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

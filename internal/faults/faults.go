@@ -1,0 +1,364 @@
+// Package faults turns failure scenarios into declarative,
+// seed-deterministic plans. A Plan is a list of timed events — node
+// crashes, crash+reboot cycles, link degradation, network partitions,
+// EEPROM write errors — that Apply schedules onto the simulation
+// kernel before the run starts. Because the plan's randomness comes
+// from a dedicated RNG derived from the run seed, a faulted run is as
+// reproducible as a clean one: same seed, same failures, same result.
+//
+// Semantics mirror the hardware the paper targets:
+//
+//   - Crash: the mote dies permanently (battery removed). The radio is
+//     destroyed and the node never returns.
+//   - Crash+reboot: power blip. RAM — protocol state, timers, pending
+//     queue — is lost; EEPROM contents survive, exactly the property
+//     MNP's reboot recovery depends on.
+//   - Link faults: extra delivery loss layered on top of the channel
+//     model. Carrier sensing is unaffected: a partitioned node still
+//     hears energy, it just cannot decode, which is the conservative
+//     model for interference-induced partitions.
+//   - EEPROM write errors: the flash driver reports a failed page
+//     program; the write does not happen and the protocol must retry.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mnp/internal/node"
+	"mnp/internal/packet"
+	"mnp/internal/radio"
+	"mnp/internal/sim"
+)
+
+// Kind discriminates fault events.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindCrash kills a node permanently at At.
+	KindCrash Kind = iota + 1
+	// KindReboot crashes a node at At and restarts it (fresh RAM,
+	// surviving EEPROM) after Downtime.
+	KindReboot
+	// KindPartition drops every frame crossing the boundary between
+	// Group and the rest of the network during [At, Until).
+	KindPartition
+	// KindDegrade adds Drop delivery loss on Src->Dst (and Dst->Src if
+	// Bidirectional) during [At, Until).
+	KindDegrade
+	// KindEEPROM makes EEPROM writes fail with probability Drop on the
+	// targeted nodes during [At, Until) (Until zero = forever).
+	KindEEPROM
+	// KindRandomCrashes kills Count random live non-base nodes at
+	// evenly spaced instants across [At, Until].
+	KindRandomCrashes
+)
+
+// Wildcard targets every non-base node in node-valued fields that
+// accept it (KindEEPROM).
+const Wildcard = packet.NodeID(0xFFFF)
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind          Kind
+	Node          packet.NodeID // Crash, Reboot, EEPROM (or Wildcard)
+	At            time.Duration
+	Until         time.Duration // Partition, Degrade, EEPROM, RandomCrashes
+	Downtime      time.Duration // Reboot: time between crash and restart
+	Group         []packet.NodeID
+	Src, Dst      packet.NodeID // Degrade
+	Bidirectional bool          // Degrade
+	Drop          float64       // Degrade, EEPROM: probability in (0, 1]
+	Count         int           // RandomCrashes
+}
+
+// Plan is an ordered fault schedule.
+type Plan struct {
+	Events []Event
+}
+
+// Crash returns a plan event that permanently kills id at t.
+func Crash(id packet.NodeID, t time.Duration) Event {
+	return Event{Kind: KindCrash, Node: id, At: t}
+}
+
+// CrashReboot returns a power-blip event: id crashes at t and comes
+// back, RAM wiped but EEPROM intact, after down.
+func CrashReboot(id packet.NodeID, t, down time.Duration) Event {
+	return Event{Kind: KindReboot, Node: id, At: t, Downtime: down}
+}
+
+// Partition isolates group from the rest of the network during
+// [from, to): frames crossing the boundary are dropped in both
+// directions.
+func Partition(group []packet.NodeID, from, to time.Duration) Event {
+	return Event{Kind: KindPartition, Group: group, At: from, Until: to}
+}
+
+// DegradeLink adds drop delivery loss on src->dst during [from, to);
+// bidi extends it to dst->src.
+func DegradeLink(src, dst packet.NodeID, bidi bool, from, to time.Duration, drop float64) Event {
+	return Event{Kind: KindDegrade, Src: src, Dst: dst, Bidirectional: bidi, At: from, Until: to, Drop: drop}
+}
+
+// EEPROMErrors makes EEPROM writes on id (or every non-base node if id
+// is Wildcard) fail with probability p during [from, to); to zero
+// means for the whole run.
+func EEPROMErrors(id packet.NodeID, p float64, from, to time.Duration) Event {
+	return Event{Kind: KindEEPROM, Node: id, Drop: p, At: from, Until: to}
+}
+
+// RandomCrashes kills count random live non-base nodes at evenly
+// spaced times across [from, to]. Victims are drawn from the plan's
+// seeded RNG at fire time, so the same seed always kills the same
+// nodes.
+func RandomCrashes(count int, from, to time.Duration) Event {
+	return Event{Kind: KindRandomCrashes, Count: count, At: from, Until: to}
+}
+
+// Env is what Apply needs from the harness.
+type Env struct {
+	Kernel  *sim.Kernel
+	Network *node.Network
+	Medium  *radio.Medium
+	// Seed derives the plan's private RNG; use the run seed so faulted
+	// runs replay exactly.
+	Seed int64
+	// Base is exempt from Wildcard targeting and random crashes.
+	Base packet.NodeID
+}
+
+// linkRule is one active time-windowed delivery-loss rule.
+type linkRule struct {
+	from, to time.Duration // [from, to), to zero = forever
+	match    func(src, dst packet.NodeID) float64
+}
+
+// Validate checks the plan for malformed events.
+func (p *Plan) Validate() error {
+	for i, ev := range p.Events {
+		switch ev.Kind {
+		case KindCrash:
+		case KindReboot:
+			if ev.Downtime <= 0 {
+				return fmt.Errorf("faults: event %d: reboot downtime %v must be positive", i, ev.Downtime)
+			}
+		case KindPartition:
+			if len(ev.Group) == 0 {
+				return fmt.Errorf("faults: event %d: partition group is empty", i)
+			}
+			if ev.Until <= ev.At {
+				return fmt.Errorf("faults: event %d: partition window [%v, %v) is empty", i, ev.At, ev.Until)
+			}
+		case KindDegrade:
+			if ev.Drop <= 0 || ev.Drop > 1 {
+				return fmt.Errorf("faults: event %d: drop %v must be in (0, 1]", i, ev.Drop)
+			}
+			if ev.Until <= ev.At {
+				return fmt.Errorf("faults: event %d: degrade window [%v, %v) is empty", i, ev.At, ev.Until)
+			}
+		case KindEEPROM:
+			if ev.Drop <= 0 || ev.Drop > 1 {
+				return fmt.Errorf("faults: event %d: eeprom error rate %v must be in (0, 1]", i, ev.Drop)
+			}
+		case KindRandomCrashes:
+			if ev.Count <= 0 {
+				return fmt.Errorf("faults: event %d: random crash count %d must be positive", i, ev.Count)
+			}
+			if ev.Until < ev.At {
+				return fmt.Errorf("faults: event %d: window [%v, %v] is inverted", i, ev.At, ev.Until)
+			}
+		default:
+			return fmt.Errorf("faults: event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Apply schedules every event in the plan onto env's kernel. Call it
+// after the network is built and before the run starts. The composite
+// link-fault hook is installed once; overlapping rules take the
+// maximum drop.
+func (p *Plan) Apply(env Env) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if env.Kernel == nil || env.Network == nil || env.Medium == nil {
+		return fmt.Errorf("faults: env needs kernel, network, and medium")
+	}
+	// Private RNG: decoupled from the kernel RNG so installing a plan
+	// never perturbs the protocol's random draws.
+	rng := rand.New(rand.NewSource(env.Seed<<16 ^ 0xFA17))
+
+	var rules []linkRule
+	for _, ev := range p.Events {
+		ev := ev
+		switch ev.Kind {
+		case KindCrash:
+			if int(ev.Node) >= len(env.Network.Nodes) {
+				return fmt.Errorf("faults: crash target %v does not exist", ev.Node)
+			}
+			env.Kernel.MustSchedule(ev.At, func() {
+				env.Network.Nodes[ev.Node].Kill()
+			})
+		case KindReboot:
+			if int(ev.Node) >= len(env.Network.Nodes) {
+				return fmt.Errorf("faults: reboot target %v does not exist", ev.Node)
+			}
+			env.Kernel.MustSchedule(ev.At, func() {
+				env.Network.Nodes[ev.Node].Crash()
+			})
+			env.Kernel.MustSchedule(ev.At+ev.Downtime, func() {
+				if err := env.Network.Restart(ev.Node); err != nil {
+					panic(fmt.Sprintf("faults: restart %v: %v", ev.Node, err))
+				}
+			})
+		case KindPartition:
+			inside := make(map[packet.NodeID]bool, len(ev.Group))
+			for _, id := range ev.Group {
+				inside[id] = true
+			}
+			rules = append(rules, linkRule{
+				from: ev.At, to: ev.Until,
+				match: func(src, dst packet.NodeID) float64 {
+					if inside[src] != inside[dst] {
+						return 1
+					}
+					return 0
+				},
+			})
+		case KindDegrade:
+			rules = append(rules, linkRule{
+				from: ev.At, to: ev.Until,
+				match: func(src, dst packet.NodeID) float64 {
+					if (src == ev.Src && dst == ev.Dst) ||
+						(ev.Bidirectional && src == ev.Dst && dst == ev.Src) {
+						return ev.Drop
+					}
+					return 0
+				},
+			})
+		case KindEEPROM:
+			if err := p.applyEEPROM(env, ev, rng); err != nil {
+				return err
+			}
+		case KindRandomCrashes:
+			p.applyRandomCrashes(env, ev, rng)
+		}
+	}
+	if len(rules) > 0 {
+		kernel := env.Kernel
+		env.Medium.SetLinkFault(func(src, dst packet.NodeID) float64 {
+			now := kernel.Now()
+			drop := 0.0
+			for _, r := range rules {
+				if now < r.from || (r.to > 0 && now >= r.to) {
+					continue
+				}
+				if d := r.match(src, dst); d > drop {
+					drop = d
+				}
+			}
+			return drop
+		})
+	}
+	return nil
+}
+
+func (p *Plan) applyEEPROM(env Env, ev Event, rng *rand.Rand) error {
+	var targets []packet.NodeID
+	if ev.Node == Wildcard {
+		for i := range env.Network.Nodes {
+			if id := packet.NodeID(i); id != env.Base {
+				targets = append(targets, id)
+			}
+		}
+	} else {
+		if int(ev.Node) >= len(env.Network.Nodes) {
+			return fmt.Errorf("faults: eeprom target %v does not exist", ev.Node)
+		}
+		targets = []packet.NodeID{ev.Node}
+	}
+	kernel := env.Kernel
+	for _, id := range targets {
+		n := env.Network.Nodes[id]
+		ev := ev
+		n.EEPROM().SetWriteFault(func(seg, pkt int) error {
+			now := kernel.Now()
+			if now < ev.At || (ev.Until > 0 && now >= ev.Until) {
+				return nil
+			}
+			if ev.Drop >= 1 || rng.Float64() < ev.Drop {
+				return fmt.Errorf("eeprom: injected write fault at slot (%d,%d)", seg, pkt)
+			}
+			return nil
+		})
+	}
+	return nil
+}
+
+func (p *Plan) applyRandomCrashes(env Env, ev Event, rng *rand.Rand) {
+	span := ev.Until - ev.At
+	for i := 0; i < ev.Count; i++ {
+		at := ev.At
+		if ev.Count > 1 {
+			at += span * time.Duration(i) / time.Duration(ev.Count-1)
+		}
+		env.Kernel.MustSchedule(at, func() {
+			var candidates []packet.NodeID
+			for i, n := range env.Network.Nodes {
+				if id := packet.NodeID(i); id != env.Base && !n.Dead() {
+					candidates = append(candidates, id)
+				}
+			}
+			if len(candidates) == 0 {
+				return
+			}
+			victim := candidates[rng.Intn(len(candidates))]
+			env.Network.Nodes[victim].Kill()
+		})
+	}
+}
+
+// String summarizes the plan for logs.
+func (p *Plan) String() string {
+	if len(p.Events) == 0 {
+		return "faults: none"
+	}
+	out := make([]string, 0, len(p.Events))
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case KindCrash:
+			out = append(out, fmt.Sprintf("crash %v @%v", ev.Node, ev.At))
+		case KindReboot:
+			out = append(out, fmt.Sprintf("reboot %v @%v (down %v)", ev.Node, ev.At, ev.Downtime))
+		case KindPartition:
+			out = append(out, fmt.Sprintf("partition %d nodes [%v, %v)", len(ev.Group), ev.At, ev.Until))
+		case KindDegrade:
+			arrow := "->"
+			if ev.Bidirectional {
+				arrow = "<->"
+			}
+			out = append(out, fmt.Sprintf("degrade %v%s%v %.0f%% [%v, %v)", ev.Src, arrow, ev.Dst, ev.Drop*100, ev.At, ev.Until))
+		case KindEEPROM:
+			who := fmt.Sprintf("%v", ev.Node)
+			if ev.Node == Wildcard {
+				who = "*"
+			}
+			win := ""
+			if ev.Until > 0 || ev.At > 0 {
+				win = fmt.Sprintf(" [%v, %v)", ev.At, ev.Until)
+			}
+			out = append(out, fmt.Sprintf("eeprom-errors %s %.1f%%%s", who, ev.Drop*100, win))
+		case KindRandomCrashes:
+			out = append(out, fmt.Sprintf("randkill %d [%v, %v]", ev.Count, ev.At, ev.Until))
+		}
+	}
+	s := "faults: " + out[0]
+	for _, item := range out[1:] {
+		s += "; " + item
+	}
+	return s
+}

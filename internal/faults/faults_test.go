@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mnp/internal/packet"
+)
+
+func TestParseSpecGrammar(t *testing.T) {
+	plan, err := ParseSpec("crash:5@20s; reboot:7@30s+10s; partition:0-3@60s-120s; " +
+		"degrade:5->7@10s-50s:0.8; degrade:1<->2@0s-5s:0.5; eeprom:*:0.01; " +
+		"eeprom:9:0.05@20s-80s; randkill:6@20s-145s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Events) != 8 {
+		t.Fatalf("parsed %d events, want 8", len(plan.Events))
+	}
+	want := []Event{
+		Crash(5, 20*time.Second),
+		CrashReboot(7, 30*time.Second, 10*time.Second),
+		Partition([]packet.NodeID{0, 1, 2, 3}, 60*time.Second, 120*time.Second),
+		DegradeLink(5, 7, false, 10*time.Second, 50*time.Second, 0.8),
+		DegradeLink(1, 2, true, 0, 5*time.Second, 0.5),
+		EEPROMErrors(Wildcard, 0.01, 0, 0),
+		EEPROMErrors(9, 0.05, 20*time.Second, 80*time.Second),
+		RandomCrashes(6, 20*time.Second, 145*time.Second),
+	}
+	for i, w := range want {
+		got := plan.Events[i]
+		if got.Kind != w.Kind || got.Node != w.Node || got.At != w.At ||
+			got.Until != w.Until || got.Downtime != w.Downtime ||
+			got.Src != w.Src || got.Dst != w.Dst ||
+			got.Bidirectional != w.Bidirectional ||
+			got.Drop != w.Drop || got.Count != w.Count {
+			t.Errorf("event %d = %+v, want %+v", i, got, w)
+		}
+		if w.Kind == KindPartition && len(got.Group) != len(w.Group) {
+			t.Errorf("event %d group = %v, want %v", i, got.Group, w.Group)
+		}
+	}
+}
+
+func TestParseSpecRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"  ;  ",
+		"crash:5",                 // no time
+		"crash:x@20s",             // bad node
+		"reboot:7@30s",            // no downtime
+		"partition:0-3@60s",       // no window end
+		"partition:3-0@1s-2s",     // inverted range
+		"degrade:5->7@10s-50s",    // no drop
+		"degrade:5->7@10s-50s:0",  // drop out of range
+		"degrade:5->7@10s-50s:2",  // drop out of range
+		"degrade:5->7@50s-10s:.5", // inverted window
+		"eeprom:*",                // no rate
+		"eeprom:*:1.5",            // rate out of range
+		"randkill:0@1s-2s",        // zero count
+		"randkill:six@1s-2s",      // bad count
+		"teleport:5@20s",          // unknown kind
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestValidateCatchesBadEvents(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ev   Event
+	}{
+		{"reboot-no-downtime", Event{Kind: KindReboot, Node: 1, At: time.Second}},
+		{"partition-empty-group", Event{Kind: KindPartition, At: 0, Until: time.Second}},
+		{"partition-empty-window", Partition([]packet.NodeID{1}, time.Second, time.Second)},
+		{"degrade-zero-drop", Event{Kind: KindDegrade, Src: 1, Dst: 2, Until: time.Second}},
+		{"eeprom-over-one", Event{Kind: KindEEPROM, Node: 1, Drop: 1.5}},
+		{"randkill-inverted", Event{Kind: KindRandomCrashes, Count: 1, At: time.Second, Until: 0}},
+		{"unknown-kind", Event{Kind: Kind(99)}},
+	} {
+		plan := &Plan{Events: []Event{tc.ev}}
+		if err := plan.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.ev)
+		}
+	}
+}
+
+func TestApplyRejectsIncompleteEnv(t *testing.T) {
+	plan := &Plan{Events: []Event{Crash(1, time.Second)}}
+	if err := plan.Apply(Env{}); err == nil {
+		t.Fatal("Apply accepted an empty env")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	empty := &Plan{}
+	if got := empty.String(); got != "faults: none" {
+		t.Fatalf("empty plan String = %q", got)
+	}
+	plan := &Plan{Events: []Event{
+		Crash(5, 20*time.Second),
+		CrashReboot(7, 30*time.Second, 10*time.Second),
+		Partition([]packet.NodeID{0, 1}, time.Minute, 2*time.Minute),
+		DegradeLink(1, 2, true, 0, 5*time.Second, 0.5),
+		EEPROMErrors(Wildcard, 0.01, 0, 0),
+		RandomCrashes(3, 0, time.Minute),
+	}}
+	s := plan.String()
+	for _, want := range []string{
+		"crash n5 @20s", "reboot n7 @30s (down 10s)", "partition 2 nodes",
+		"degrade n1<->n2 50%", "eeprom-errors * 1.0%", "randkill 3",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}

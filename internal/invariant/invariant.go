@@ -1,0 +1,384 @@
+// Package invariant validates the paper's protocol invariants online,
+// while a simulation executes, instead of post-hoc at verification
+// time. A Checker plugs into the harness as a node.Observer (and,
+// through radio.Medium.SetTap, as a frame tap) and watches five
+// properties MNP's correctness argument rests on:
+//
+//  1. Write-once EEPROM: each (segment, packet) slot is written at
+//     most once per program epoch ("we guarantee that each packet in a
+//     segment is written to EEPROM only once"). An epoch ends when the
+//     node erases its store for a new program version.
+//  2. In-order segments: a node completes segments strictly in order
+//     (RvdSegID advances by exactly one), so the received-segment ID
+//     it would advertise is monotone within a program version.
+//  3. Advertisement soundness: a node never advertises a segment it
+//     does not fully hold in EEPROM.
+//  4. Sleep discipline: a node in the sleep state never transmits,
+//     and (unless the ablation keeps radios powered) its radio is
+//     provably off strictly inside the sleep window.
+//  5. Sender exclusivity: at most one active data sender per radio
+//     neighborhood, within a small tolerance the paper itself concedes
+//     to time-varying links.
+//
+// The checker keeps its own bounded trace ring; every violation
+// carries an excerpt of the offending node's recent history so a
+// failing chaos test points at the exact event sequence.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mnp/internal/node"
+	"mnp/internal/packet"
+	"mnp/internal/trace"
+)
+
+// Config parameterizes a Checker. Now is required; everything else is
+// optional and disables the corresponding check when absent.
+type Config struct {
+	// Now supplies timestamps (use Kernel.Now).
+	Now func() time.Duration
+	// Neighbor reports whether two nodes share a radio neighborhood;
+	// nil disables the sender-exclusivity check.
+	Neighbor func(a, b packet.NodeID) bool
+	// Airtime converts a frame size to channel occupancy (use
+	// Medium.Airtime); required for sender exclusivity.
+	Airtime func(bytes int) time.Duration
+	// SenderOverlapBudget tolerates this many same-neighborhood
+	// concurrent data transmissions before the run is a violation. The
+	// paper reports near-perfect but not perfect exclusion under
+	// time-varying links; 0 means use DefaultSenderOverlapBudget.
+	SenderOverlapBudget int
+	// AllowRadioOnInSleep skips the radio-off-in-sleep check (for the
+	// NoSleep ablation, which parks in the sleep state with the radio
+	// powered).
+	AllowRadioOnInSleep bool
+	// TraceCap bounds the internal trace ring (default 16384 entries).
+	TraceCap int
+	// OnViolation, when set, fires on every violation as it is
+	// detected (e.g. to t.Fatalf immediately). Violations are recorded
+	// either way.
+	OnViolation func(Violation)
+}
+
+// DefaultSenderOverlapBudget is the tolerated number of concurrent
+// same-neighborhood data sends per run, matching the slack the paper's
+// testbed data shows.
+const DefaultSenderOverlapBudget = 25
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	At      time.Duration
+	Node    packet.NodeID
+	Rule    string
+	Detail  string
+	Excerpt []string // recent trace entries for the offending node
+}
+
+// Error formats the violation with its trace excerpt.
+func (v Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant %q violated at %v by node %v: %s", v.Rule, v.At, v.Node, v.Detail)
+	if len(v.Excerpt) > 0 {
+		b.WriteString("\n  trace excerpt:")
+		for _, line := range v.Excerpt {
+			b.WriteString("\n    ")
+			b.WriteString(line)
+		}
+	}
+	return b.String()
+}
+
+// nodeState is the checker's model of one node.
+type nodeState struct {
+	epoch   int
+	writes  map[int]int // slot key (seg<<16 | pkt) -> successful writes this epoch
+	perSeg  map[int]int // segment -> distinct slots written this epoch
+	lastSeg int         // last in-order completed segment this epoch
+	state   string      // protocol state from EventStateChange ("" = unknown)
+	asleep  bool
+	sleepAt time.Duration
+	// pendingRadioOn records a radio power-up observed while the node
+	// was in the sleep state. Waking turns the radio on before the
+	// state-change event lands, so the power-up is only a violation if
+	// the node is still asleep at a strictly later instant.
+	pendingRadioOn   bool
+	pendingRadioOnAt time.Duration
+}
+
+// senderWindow is one in-flight data transmission.
+type senderWindow struct {
+	id    packet.NodeID
+	until time.Duration
+}
+
+// Checker validates invariants as observations arrive. It is not safe
+// for concurrent use; in the DES all observations arrive on one
+// goroutine.
+type Checker struct {
+	cfg        Config
+	log        *trace.Log
+	nodes      map[packet.NodeID]*nodeState
+	violations []Violation
+
+	activeData []senderWindow
+	overlaps   int
+	overBudget bool
+}
+
+// New builds a checker. Wire it as (part of) the node observer and,
+// for the advertisement/sleep-transmit/sender checks, install
+// PacketSent as the medium's tap.
+func New(cfg Config) (*Checker, error) {
+	if cfg.Now == nil {
+		return nil, fmt.Errorf("invariant: Now clock is required")
+	}
+	if cfg.SenderOverlapBudget == 0 {
+		cfg.SenderOverlapBudget = DefaultSenderOverlapBudget
+	}
+	if cfg.TraceCap == 0 {
+		cfg.TraceCap = 16384
+	}
+	log, err := trace.NewLog(cfg.Now, trace.WithCap(cfg.TraceCap))
+	if err != nil {
+		return nil, err
+	}
+	return &Checker{cfg: cfg, log: log, nodes: make(map[packet.NodeID]*nodeState)}, nil
+}
+
+var _ node.Observer = (*Checker)(nil)
+
+func (c *Checker) state(id packet.NodeID) *nodeState {
+	st, ok := c.nodes[id]
+	if !ok {
+		st = &nodeState{writes: make(map[int]int), perSeg: make(map[int]int)}
+		c.nodes[id] = st
+	}
+	return st
+}
+
+const excerptLen = 12
+
+func (c *Checker) excerpt(id packet.NodeID) []string {
+	entries := c.log.NodeEntries(id)
+	if len(entries) > excerptLen {
+		entries = entries[len(entries)-excerptLen:]
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.String())
+	}
+	return out
+}
+
+func (c *Checker) violate(id packet.NodeID, rule, format string, args ...any) {
+	v := Violation{
+		At:      c.cfg.Now(),
+		Node:    id,
+		Rule:    rule,
+		Detail:  fmt.Sprintf(format, args...),
+		Excerpt: c.excerpt(id),
+	}
+	c.violations = append(c.violations, v)
+	if c.cfg.OnViolation != nil {
+		c.cfg.OnViolation(v)
+	}
+}
+
+// resolvePendingRadio decides the fate of a radio power-up seen during
+// sleep: legitimate if the node left the sleep state at the very same
+// instant, a violation once a strictly later observation finds it
+// still asleep.
+func (c *Checker) resolvePendingRadio(id packet.NodeID, st *nodeState, now time.Duration) {
+	if !st.pendingRadioOn {
+		return
+	}
+	if !st.asleep {
+		st.pendingRadioOn = false
+		return
+	}
+	if now > st.pendingRadioOnAt {
+		st.pendingRadioOn = false
+		c.violate(id, "sleep-radio-off",
+			"radio powered on at %v while in the sleep state entered at %v",
+			st.pendingRadioOnAt, st.sleepAt)
+	}
+}
+
+// NodeEvent implements node.Observer.
+func (c *Checker) NodeEvent(id packet.NodeID, at time.Duration, ev node.Event) {
+	c.log.NodeEvent(id, at, ev)
+	st := c.state(id)
+	switch ev.Kind {
+	case node.EventStateChange:
+		st.state = ev.State
+		wasAsleep := st.asleep
+		st.asleep = ev.State == "sleep"
+		if st.asleep && !wasAsleep {
+			st.sleepAt = at
+		}
+		c.resolvePendingRadio(id, st, at)
+	case node.EventGotSegment:
+		c.resolvePendingRadio(id, st, at)
+		if ev.Seg != st.lastSeg+1 {
+			c.violate(id, "in-order-segments",
+				"completed segment %d after segment %d (must advance by exactly one)",
+				ev.Seg, st.lastSeg)
+		}
+		if ev.Seg > st.lastSeg {
+			st.lastSeg = ev.Seg
+		}
+	case node.EventStoreErased:
+		// New program epoch: write-once and segment order restart.
+		st.epoch++
+		st.writes = make(map[int]int)
+		st.perSeg = make(map[int]int)
+		st.lastSeg = 0
+	case node.EventRebooted:
+		// RAM state is gone; the protocol state is unknown until the
+		// fresh instance reports one. EEPROM-derived state persists.
+		st.state = ""
+		st.asleep = false
+		st.pendingRadioOn = false
+	}
+}
+
+// RadioState implements node.Observer.
+func (c *Checker) RadioState(id packet.NodeID, at time.Duration, on bool) {
+	c.log.RadioState(id, at, on)
+	st := c.state(id)
+	c.resolvePendingRadio(id, st, at)
+	if on && st.asleep && !c.cfg.AllowRadioOnInSleep {
+		st.pendingRadioOn = true
+		st.pendingRadioOnAt = at
+	}
+}
+
+// StorageOp implements node.Observer.
+func (c *Checker) StorageOp(id packet.NodeID, write bool, seg, pkt, bytes int) {
+	c.log.StorageOp(id, write, seg, pkt, bytes)
+	if !write {
+		return
+	}
+	st := c.state(id)
+	key := seg<<16 | pkt
+	st.writes[key]++
+	if st.writes[key] == 1 {
+		st.perSeg[seg]++
+	} else {
+		c.violate(id, "write-once-eeprom",
+			"EEPROM slot (seg %d, pkt %d) written %d times in program epoch %d",
+			seg, pkt, st.writes[key], st.epoch)
+	}
+}
+
+// PacketSent is the radio tap: it observes every transmitted frame in
+// decoded form. Install with Medium.SetTap(checker.PacketSent).
+func (c *Checker) PacketSent(src packet.NodeID, p packet.Packet, air time.Duration) {
+	st := c.state(src)
+	now := c.cfg.Now()
+	c.resolvePendingRadio(src, st, now)
+	if st.asleep {
+		c.violate(src, "no-transmit-in-sleep",
+			"transmitted a %v frame while in the sleep state entered at %v",
+			p.Kind(), st.sleepAt)
+	}
+	if adv, ok := p.(*packet.Advertise); ok {
+		c.checkAdvertise(src, st, adv)
+	}
+	if c.cfg.Neighbor != nil && c.cfg.Airtime != nil &&
+		packet.ClassOf(p.Kind()) == packet.ClassData {
+		c.checkSenderExclusive(src, now, air)
+	}
+}
+
+// checkAdvertise validates that the advertiser fully holds every
+// segment up to the one it advertises, using the geometry carried by
+// the advertisement itself and the writes the checker has seen land in
+// the node's EEPROM this epoch.
+func (c *Checker) checkAdvertise(src packet.NodeID, st *nodeState, adv *packet.Advertise) {
+	segID := int(adv.SegID)
+	nominal := int(adv.SegNominal)
+	total := int(adv.TotalPackets)
+	if segID <= 0 || nominal <= 0 || total <= 0 {
+		c.violate(src, "advertise-soundness",
+			"advertisement with degenerate geometry (seg %d, nominal %d, total %d)",
+			segID, nominal, total)
+		return
+	}
+	for s := 1; s <= segID; s++ {
+		want := total - (s-1)*nominal
+		if want > nominal {
+			want = nominal
+		}
+		if want <= 0 || st.perSeg[s] < want {
+			c.violate(src, "advertise-soundness",
+				"advertised segment %d of program %d but holds %d/%d packets of segment %d",
+				segID, adv.ProgramID, st.perSeg[s], want, s)
+			return
+		}
+	}
+}
+
+func (c *Checker) checkSenderExclusive(src packet.NodeID, now time.Duration, air time.Duration) {
+	live := c.activeData[:0]
+	for _, w := range c.activeData {
+		if w.until > now {
+			live = append(live, w)
+		}
+	}
+	c.activeData = live
+	for _, w := range c.activeData {
+		if w.id != src && c.cfg.Neighbor(src, w.id) {
+			c.overlaps++
+			if c.overlaps > c.cfg.SenderOverlapBudget && !c.overBudget {
+				c.overBudget = true
+				c.violate(src, "single-sender-per-neighborhood",
+					"%d same-neighborhood concurrent data sends exceed the budget of %d (latest overlaps node %v)",
+					c.overlaps, c.cfg.SenderOverlapBudget, w.id)
+			}
+		}
+	}
+	c.activeData = append(c.activeData, senderWindow{id: src, until: now + air})
+}
+
+// Overlaps returns the count of same-neighborhood concurrent data
+// transmissions observed (compare with the configured budget).
+func (c *Checker) Overlaps() int { return c.overlaps }
+
+// Violations returns every recorded violation in detection order.
+func (c *Checker) Violations() []Violation {
+	out := make([]Violation, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// Err returns the first violation as an error, or nil if every
+// invariant held.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	v := c.violations[0]
+	if n := len(c.violations); n > 1 {
+		return fmt.Errorf("%s\n  (+%d further violations)", v.Error(), n-1)
+	}
+	return fmt.Errorf("%s", v.Error())
+}
+
+// TB is the subset of *testing.T the test helpers need.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Check fails the test on the first recorded violation. Call it after
+// the run completes; use Config.OnViolation for fail-fast behavior.
+func (c *Checker) Check(t TB) {
+	t.Helper()
+	if err := c.Err(); err != nil {
+		t.Fatalf("%v", err)
+	}
+}

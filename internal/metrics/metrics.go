@@ -200,7 +200,7 @@ func (c *Collector) RadioState(id packet.NodeID, at time.Duration, on bool) {
 }
 
 // StorageOp implements node.Observer.
-func (c *Collector) StorageOp(id packet.NodeID, write bool, bytes int) {
+func (c *Collector) StorageOp(id packet.NodeID, write bool, seg, pkt, bytes int) {
 	if write {
 		c.nodes[id].eepromWriteBytes += bytes
 		return

@@ -122,8 +122,8 @@ func TestLedgerIdleListening(t *testing.T) {
 	*now = 0
 	c.FrameSent(0, packet.KindData, 34)        // 34 ms air
 	c.FrameReceived(0, 1, packet.KindData, 34) // 34 ms air
-	c.StorageOp(0, true, 22)
-	c.StorageOp(0, false, 22)
+	c.StorageOp(0, true, 1, 0, 22)
+	c.StorageOp(0, false, 1, 0, 22)
 	l := c.Ledger(0, time.Second)
 	if l.TxPackets != 1 || l.RxPackets != 1 {
 		t.Fatalf("ledger tx/rx = %d/%d", l.TxPackets, l.RxPackets)

@@ -18,6 +18,10 @@ type Network struct {
 	Layout *topology.Layout
 	Nodes  []*Node
 
+	// factory is kept so crashed nodes can be rebooted with a fresh
+	// protocol instance (Restart).
+	factory Factory
+
 	// satisfiedCursor counts the leading nodes known to be dead or
 	// completed. Both conditions are monotone for a run, so AllCompleted
 	// only ever rechecks the first node that wasn't — RunUntilComplete
@@ -35,7 +39,7 @@ func NewNetwork(k *sim.Kernel, m *radio.Medium, layout *topology.Layout, f Facto
 	if f == nil {
 		return nil, fmt.Errorf("node: nil factory")
 	}
-	nw := &Network{Kernel: k, Medium: m, Layout: layout}
+	nw := &Network{Kernel: k, Medium: m, Layout: layout, factory: f}
 	for i := 0; i < layout.N(); i++ {
 		id := packet.NodeID(i)
 		proto, cfg := f(id)
@@ -57,6 +61,22 @@ func (nw *Network) Start() {
 
 // Node returns the node with the given ID.
 func (nw *Network) Node(id packet.NodeID) *Node { return nw.Nodes[id] }
+
+// Restart reboots a crashed node: the factory builds it a fresh
+// protocol instance (RAM state is lost in the crash) while its EEPROM
+// survives. The node's original harness config is kept.
+func (nw *Network) Restart(id packet.NodeID) error {
+	proto, _ := nw.factory(id)
+	if err := nw.Nodes[id].Restart(proto); err != nil {
+		return err
+	}
+	// The node may now be live-but-incomplete again; rewind the
+	// monotone completion cursor so AllCompleted rechecks it.
+	if int(id) < nw.satisfiedCursor {
+		nw.satisfiedCursor = int(id)
+	}
+	return nil
+}
 
 // CompletedCount returns how many nodes hold the full program.
 func (nw *Network) CompletedCount() int {

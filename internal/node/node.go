@@ -92,6 +92,7 @@ const (
 	EventGotCode
 	EventBecameSender
 	EventRebooted
+	EventStoreErased
 )
 
 // Event is a protocol observation routed to the Observer.
@@ -106,7 +107,10 @@ type Event struct {
 type Observer interface {
 	NodeEvent(id packet.NodeID, at time.Duration, ev Event)
 	RadioState(id packet.NodeID, at time.Duration, on bool)
-	StorageOp(id packet.NodeID, write bool, bytes int)
+	// StorageOp reports an EEPROM access at slot (seg, pkt); reads and
+	// writes both carry the slot so invariant checkers can validate the
+	// write-once property online.
+	StorageOp(id packet.NodeID, write bool, seg, pkt, bytes int)
 }
 
 // MultiObserver fans observations out to several observers in order
@@ -128,9 +132,9 @@ func (m MultiObserver) RadioState(id packet.NodeID, at time.Duration, on bool) {
 }
 
 // StorageOp implements Observer.
-func (m MultiObserver) StorageOp(id packet.NodeID, write bool, bytes int) {
+func (m MultiObserver) StorageOp(id packet.NodeID, write bool, seg, pkt, bytes int) {
 	for _, o := range m {
-		o.StorageOp(id, write, bytes)
+		o.StorageOp(id, write, seg, pkt, bytes)
 	}
 }
 
@@ -146,7 +150,7 @@ func (NopObserver) NodeEvent(packet.NodeID, time.Duration, Event) {}
 func (NopObserver) RadioState(packet.NodeID, time.Duration, bool) {}
 
 // StorageOp implements Observer.
-func (NopObserver) StorageOp(packet.NodeID, bool, int) {}
+func (NopObserver) StorageOp(packet.NodeID, bool, int, int, int) {}
 
 var _ Observer = NopObserver{}
 
@@ -264,10 +268,53 @@ func (n *Node) Kill() {
 		t.Cancel()
 	}
 	n.timers = n.timers[:0]
+	n.timerFns = n.timerFns[:0]
 	n.queue = nil
 	n.sending = false
 	n.medium.Destroy(n.id)
 	n.observer.RadioState(n.id, n.kernel.Now(), false)
+}
+
+// Crash stops the node the way a power failure does: timers, the MAC
+// queue, and the protocol's RAM state are lost, but the EEPROM store
+// survives and the radio hardware stays registered. Unlike Kill, a
+// crashed node can be revived with Restart.
+func (n *Node) Crash() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	for _, t := range n.timers {
+		t.Cancel()
+	}
+	// timers and timerFns grow in lockstep in SetTimer; truncate both so
+	// a restarted node rebuilds them together.
+	n.timers = n.timers[:0]
+	n.timerFns = n.timerFns[:0]
+	n.queue = nil
+	n.sending = false
+	n.medium.SetRadio(n.id, false)
+	n.observer.RadioState(n.id, n.kernel.Now(), false)
+}
+
+// Restart revives a crashed node with a fresh protocol instance, as a
+// rebooting mote does: EEPROM contents persist, everything in RAM is
+// new. The protocol's Init runs immediately.
+func (n *Node) Restart(proto Protocol) error {
+	if !n.dead {
+		return fmt.Errorf("node %v: restart of a live node", n.id)
+	}
+	if n.medium.Destroyed(n.id) {
+		return fmt.Errorf("node %v: destroyed, cannot restart", n.id)
+	}
+	if proto == nil {
+		return fmt.Errorf("node %v: nil protocol", n.id)
+	}
+	n.dead = false
+	n.proto = proto
+	n.observer.NodeEvent(n.id, n.kernel.Now(), Event{Kind: EventRebooted})
+	proto.Init(n)
+	return nil
 }
 
 // Dead reports whether the node has been killed.
@@ -451,7 +498,7 @@ func (n *Node) Store(seg, pkt int, payload []byte) error {
 	if err := n.store.Write(seg, pkt, payload); err != nil {
 		return err
 	}
-	n.observer.StorageOp(n.id, true, len(payload))
+	n.observer.StorageOp(n.id, true, seg, pkt, len(payload))
 	return nil
 }
 
@@ -459,7 +506,7 @@ func (n *Node) Store(seg, pkt int, payload []byte) error {
 func (n *Node) Load(seg, pkt int) []byte {
 	p := n.store.Read(seg, pkt)
 	if p != nil {
-		n.observer.StorageOp(n.id, false, len(p))
+		n.observer.StorageOp(n.id, false, seg, pkt, len(p))
 	}
 	return p
 }
@@ -468,7 +515,10 @@ func (n *Node) Load(seg, pkt int) []byte {
 func (n *Node) HasPacket(seg, pkt int) bool { return n.store.Has(seg, pkt) }
 
 // EraseStore implements Runtime.
-func (n *Node) EraseStore() { n.store.Erase() }
+func (n *Node) EraseStore() {
+	n.store.Erase()
+	n.observer.NodeEvent(n.id, n.kernel.Now(), Event{Kind: EventStoreErased})
+}
 
 // Complete implements Runtime.
 func (n *Node) Complete() {

@@ -38,7 +38,7 @@ func (o *recordingObserver) NodeEvent(_ packet.NodeID, _ time.Duration, ev Event
 func (o *recordingObserver) RadioState(_ packet.NodeID, _ time.Duration, on bool) {
 	o.radioOn = append(o.radioOn, on)
 }
-func (o *recordingObserver) StorageOp(_ packet.NodeID, write bool, _ int) {
+func (o *recordingObserver) StorageOp(_ packet.NodeID, write bool, _, _, _ int) {
 	if write {
 		o.writes++
 	} else {

@@ -177,7 +177,31 @@ type Medium struct {
 	dist   []float64           // row-major N×N, from the layout
 	tables map[int]*powerTable // lazily built per power level
 	freeTx []*transmission
+
+	// tap, when set, observes every transmitted frame in decoded form
+	// (invariant checkers need packet contents, which TrafficSink
+	// deliberately omits). Nil costs nothing.
+	tap Tap
+	// linkFault, when set, returns an extra drop probability for the
+	// directed link (src, dst), applied per frame at delivery time.
+	// Fault injection installs it; nil (the default) costs nothing and
+	// draws no randomness, keeping fault-free runs byte-identical.
+	linkFault func(src, dst packet.NodeID) float64
 }
+
+// Tap observes a successfully started transmission: the decoded packet
+// and its airtime. Implementations must not re-enter the medium.
+type Tap func(src packet.NodeID, p packet.Packet, air time.Duration)
+
+// SetTap installs the transmission tap (nil to remove).
+func (m *Medium) SetTap(t Tap) { m.tap = t }
+
+// SetLinkFault installs a per-directed-link extra drop probability,
+// consulted once per (frame, receiver) after the channel's own
+// bit-error draw: 0 delivers normally, 1 drops deterministically,
+// in-between drops with that probability using the kernel RNG. Used by
+// fault plans to model degraded links and partitions.
+func (m *Medium) SetLinkFault(f func(src, dst packet.NodeID) float64) { m.linkFault = f }
 
 // NewMedium builds a channel over layout. seed drives the per-link
 // asymmetry noise (independent of the kernel's RNG so that link quality
@@ -425,6 +449,9 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 	st.everTx = true
 	m.active = append(m.active, t)
 	m.sink.FrameSent(src, t.kind, t.bytes)
+	if m.tap != nil {
+		m.tap(src, pkt, air)
+	}
 	m.kernel.MustSchedule(air, t.finishFn)
 	return air, nil
 }
@@ -480,6 +507,12 @@ func (m *Medium) finish(t *transmission) {
 		p := math.Pow(1-t.ber[i], float64(t.bytes*8))
 		if m.kernel.Rand().Float64() >= p {
 			continue // channel bit errors
+		}
+		if m.linkFault != nil {
+			if drop := m.linkFault(t.src, r); drop > 0 &&
+				(drop >= 1 || m.kernel.Rand().Float64() < drop) {
+				continue // injected link fault
+			}
 		}
 		if decoded == nil {
 			var err error

@@ -34,6 +34,8 @@ type Entry struct {
 	Event node.Event // KindEvent
 	On    bool       // KindRadio
 	Write bool       // KindStorage
+	Seg   int        // KindStorage: EEPROM slot segment
+	Pkt   int        // KindStorage: EEPROM slot packet
 	Bytes int        // KindStorage
 }
 
@@ -52,7 +54,7 @@ func (e Entry) String() string {
 		if e.Write {
 			op = "write"
 		}
-		return fmt.Sprintf("%s eeprom %s %dB", prefix, op, e.Bytes)
+		return fmt.Sprintf("%s eeprom %s s%d/p%d %dB", prefix, op, e.Seg, e.Pkt, e.Bytes)
 	default:
 		switch e.Event.Kind {
 		case node.EventStateChange:
@@ -67,6 +69,8 @@ func (e Entry) String() string {
 			return fmt.Sprintf("%s became sender (segment %d)", prefix, e.Event.Seg)
 		case node.EventRebooted:
 			return fmt.Sprintf("%s rebooted", prefix)
+		case node.EventStoreErased:
+			return fmt.Sprintf("%s eeprom erased", prefix)
 		default:
 			return fmt.Sprintf("%s event %d", prefix, e.Event.Kind)
 		}
@@ -125,8 +129,8 @@ func (l *Log) RadioState(id packet.NodeID, at time.Duration, on bool) {
 }
 
 // StorageOp implements node.Observer.
-func (l *Log) StorageOp(id packet.NodeID, write bool, bytes int) {
-	l.add(Entry{At: l.now(), Node: id, Kind: KindStorage, Write: write, Bytes: bytes})
+func (l *Log) StorageOp(id packet.NodeID, write bool, seg, pkt, bytes int) {
+	l.add(Entry{At: l.now(), Node: id, Kind: KindStorage, Write: write, Seg: seg, Pkt: pkt, Bytes: bytes})
 }
 
 func (l *Log) add(e Entry) {

@@ -36,8 +36,8 @@ func TestRecordAndRender(t *testing.T) {
 	l.NodeEvent(1, 2*time.Second, node.Event{Kind: node.EventKind(99)})
 	l.RadioState(2, time.Second, true)
 	l.RadioState(2, 2*time.Second, false)
-	l.StorageOp(2, true, 22)
-	l.StorageOp(2, false, 22)
+	l.StorageOp(2, true, 1, 0, 22)
+	l.StorageOp(2, false, 1, 0, 22)
 
 	if l.Len() != 11 {
 		t.Fatalf("Len = %d", l.Len())
@@ -50,7 +50,7 @@ func TestRecordAndRender(t *testing.T) {
 	for _, want := range []string{
 		"state -> advertise", "parent = n0", "got segment 1",
 		"got full program", "became sender", "rebooted", "event 99",
-		"radio on", "radio off", "eeprom write 22B", "eeprom read 22B",
+		"radio on", "radio off", "eeprom write s1/p0 22B", "eeprom read s1/p0 22B",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dump missing %q in:\n%s", want, out)
@@ -112,7 +112,7 @@ func TestMultiObserverFansOut(t *testing.T) {
 	multi := node.MultiObserver{a, b}
 	multi.NodeEvent(1, 0, node.Event{Kind: node.EventGotCode})
 	multi.RadioState(1, 0, true)
-	multi.StorageOp(1, true, 8)
+	multi.StorageOp(1, true, 1, 0, 8)
 	if a.Len() != 3 || b.Len() != 3 {
 		t.Fatalf("fan-out lens = %d, %d", a.Len(), b.Len())
 	}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+cpu: AMD EPYC 7B13
+BenchmarkMediumTransmit/active=32-8  	    2000	     36168 ns/op	    8051 B/op	     210 allocs/op
+BenchmarkKernelHeap-8               	 1000000	      1042 ns/op
+some unrelated log line
+PASS
+ok  	mnp/internal/radio	2.345s
+`
+
+func TestParseGolden(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sampleBench)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
+	}
+	want := []Result{
+		{Name: "BenchmarkMediumTransmit/active=32", Iterations: 2000, NsPerOp: 36168, BytesPerOp: 8051, AllocsPerOp: 210},
+		{Name: "BenchmarkKernelHeap", Iterations: 1000000, NsPerOp: 1042},
+	}
+	if len(doc.Results) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %+v", len(doc.Results), len(want), doc.Results)
+	}
+	for i, w := range want {
+		if doc.Results[i] != w {
+			t.Errorf("result %d = %+v, want %+v", i, doc.Results[i], w)
+		}
+	}
+}
+
+// TestEmitGolden pins the emitted JSON shape end to end, so downstream
+// consumers of BENCH_sim.json notice schema drift here first.
+func TestEmitGolden(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sampleBench)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "goos": "linux",
+  "goarch": "amd64",
+  "cpu": "AMD EPYC 7B13",
+  "results": [
+    {
+      "name": "BenchmarkMediumTransmit/active=32",
+      "iterations": 2000,
+      "ns_per_op": 36168,
+      "bytes_per_op": 8051,
+      "allocs_per_op": 210
+    },
+    {
+      "name": "BenchmarkKernelHeap",
+      "iterations": 1000000,
+      "ns_per_op": 1042,
+      "bytes_per_op": 0,
+      "allocs_per_op": 0
+    }
+  ]
+}
+`
+	if b.String() != golden {
+		t.Fatalf("emitted JSON drifted from golden:\n%s", b.String())
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("no benchmarks here\n"))); err == nil {
+		t.Fatal("parse accepted input with no benchmark lines")
+	}
+}
+
+func TestParseLineEdgeCases(t *testing.T) {
+	// Name without a -N suffix survives unstripped.
+	r, ok := parseLine("BenchmarkPlain 100 5 ns/op")
+	if !ok || r.Name != "BenchmarkPlain" || r.Iterations != 100 {
+		t.Fatalf("parseLine = %+v, %v", r, ok)
+	}
+	// Non-numeric iteration count is rejected.
+	if _, ok := parseLine("BenchmarkBad abc 5 ns/op"); ok {
+		t.Fatal("parseLine accepted a bad iteration count")
+	}
+	// Short lines are rejected.
+	if _, ok := parseLine("BenchmarkShort 100"); ok {
+		t.Fatal("parseLine accepted a short line")
+	}
+	// Unknown units are ignored, known ones still land.
+	r, ok = parseLine("BenchmarkMixed-4 10 7 ns/op 3 widgets/op 9 B/op")
+	if !ok || r.NsPerOp != 7 || r.BytesPerOp != 9 || r.Name != "BenchmarkMixed" {
+		t.Fatalf("parseLine = %+v", r)
+	}
+}
