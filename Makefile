@@ -27,10 +27,13 @@ vet:
 
 # fuzz-short runs each native fuzz target for a fixed small budget
 # (override with FUZZTIME=30s etc.). The go tool accepts one -fuzz
-# target per invocation, hence one line per target.
+# target per invocation, hence one line per target. The targets carry
+# no build tags (native fuzzing needs none), so plain `make vet`
+# already type-checks every fuzz file.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzMNPPacketSequence' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz 'FuzzRuntimeOps' -fuzztime $(FUZZTIME) ./internal/node/nodetest/
+	$(GO) test -run '^$$' -fuzz 'FuzzRecordRoundTrip' -fuzztime $(FUZZTIME) ./internal/telemetry/
 
 # bench runs the simulation-substrate micro-benchmarks plus the
 # end-to-end Figure 8 regeneration and writes the numbers (ns/op,

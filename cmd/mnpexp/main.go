@@ -9,12 +9,23 @@
 //
 //	mnpexp -faults 'reboot:7@30s+10s; eeprom:*:0.01'
 //	mnpexp -faults 'randkill:6@20s-145s' -rows 8 -cols 8 -seed 22
+//
+// Telemetry and profiling hooks (all default off):
+//
+//	mnpexp -telemetry out/ -rows 3 -cols 5   # NDJSON event stream + counters
+//	mnpexp -pprof localhost:6060 all         # live /debug/pprof + /debug/vars
+//	mnpexp -cpuprofile cpu.out -trace trace.out F8
+//
+// With -telemetry, the deployment writes out/events.ndjson (one JSON
+// object per line, schema-versioned; pipe through jq) and
+// out/counters.prom (Prometheus text format).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -24,6 +35,7 @@ import (
 	"mnp/internal/experiment"
 	"mnp/internal/faults"
 	"mnp/internal/invariant"
+	"mnp/internal/telemetry"
 )
 
 func main() {
@@ -43,18 +55,31 @@ func run(args []string) error {
 		parallel = fs.Bool("parallel", false, "run the selected experiments concurrently")
 		csvDir   = fs.String("csv", "", "write the series figures' raw data as CSV files into this directory and exit")
 		faultStr = fs.String("faults", "", "run a chaos deployment under this fault spec (e.g. 'crash:5@20s; eeprom:*:0.01'); see internal/faults")
-		rows     = fs.Int("rows", 8, "chaos deployment grid rows (-faults only)")
-		cols     = fs.Int("cols", 8, "chaos deployment grid cols (-faults only)")
-		packets  = fs.Int("packets", 128, "chaos deployment image size in packets (-faults only)")
+		rows     = fs.Int("rows", 8, "deployment grid rows (-faults / -telemetry runs)")
+		cols     = fs.Int("cols", 8, "deployment grid cols (-faults / -telemetry runs)")
+		packets  = fs.Int("packets", 128, "deployment image size in packets (-faults / -telemetry runs)")
+
+		telemetryDir = fs.String("telemetry", "", "write NDJSON events + Prometheus counters for a deployment run into this directory")
+		pprofAddr    = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address for the whole invocation")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		tracePath    = fs.String("trace", "", "write a runtime/trace capture to this file")
+		progress     = fs.Bool("progress", false, "report live deployment progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *faultStr != "" {
+	stopProf, err := telemetry.StartProfiling(telemetry.ProfileConfig{
+		PprofAddr: *pprofAddr, CPUProfile: *cpuProfile, TracePath: *tracePath,
+	})
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	if *faultStr != "" || *telemetryDir != "" {
 		if len(fs.Args()) > 0 {
-			return fmt.Errorf("-faults runs its own deployment; drop the experiment IDs %v", fs.Args())
+			return fmt.Errorf("-faults/-telemetry run their own deployment; drop the experiment IDs %v", fs.Args())
 		}
-		return runChaos(*faultStr, *rows, *cols, *packets, *seed)
+		return runDeploy(*faultStr, *rows, *cols, *packets, *seed, *telemetryDir, *progress)
 	}
 	if *list {
 		for _, s := range experiment.AllSpecs() {
@@ -96,7 +121,11 @@ func run(args []string) error {
 		// Multi-seed fan-out: each experiment runs once per seed on a
 		// worker pool. RunSeeds merges deterministically — reports come
 		// back in seed-list order no matter which worker finishes first.
-		for _, s := range specs {
+		for si, s := range specs {
+			if *progress {
+				fmt.Fprintf(os.Stderr, "sweep: %s (%d/%d), %d seeds on %d workers\n",
+					s.ID, si+1, len(specs), len(seedList), *workers)
+			}
 			for _, r := range mnp.RunSeeds(s, seedList, *workers) {
 				if r.Err != nil {
 					return fmt.Errorf("%s seed %d: %w", s.ID, r.Seed, r.Err)
@@ -146,26 +175,76 @@ func run(args []string) error {
 	return nil
 }
 
-// runChaos executes one dissemination run under the parsed fault plan
-// with the invariant checker attached, then reports the outcome: who
-// died, who completed, how many EEPROM faults were absorbed, and
-// whether every surviving image is byte-identical and every protocol
-// invariant held.
-func runChaos(spec string, rows, cols, packets int, seed int64) error {
-	plan, err := faults.ParseSpec(spec)
-	if err != nil {
-		return err
+// runDeploy executes one dissemination run — optionally under a parsed
+// fault plan — with the invariant checker attached, then reports the
+// outcome: who died, who completed, how many EEPROM faults were
+// absorbed, and whether every surviving image is byte-identical and
+// every protocol invariant held. With telemetryDir set, the run also
+// streams NDJSON events and dumps the final counters in Prometheus
+// text format.
+func runDeploy(spec string, rows, cols, packets int, seed int64, telemetryDir string, progress bool) error {
+	var plan *faults.Plan
+	if spec != "" {
+		var err error
+		plan, err = faults.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println(plan)
 	}
-	fmt.Println(plan)
-	res, err := experiment.Run(experiment.Setup{
-		Name: "chaos", Rows: rows, Cols: cols, ImagePackets: packets,
+	setup := experiment.Setup{
+		Name: "deploy", Rows: rows, Cols: cols, ImagePackets: packets,
 		Seed: seed, Limit: 12 * time.Hour,
 		Faults:     plan,
 		Invariants: &invariant.Config{},
-	})
+	}
+	var prog *telemetry.Progress
+	if progress {
+		prog = telemetry.NewProgress(os.Stderr, "deploy", rows*cols, time.Second)
+		setup.Observer = prog
+	}
+	var stream *telemetry.Stream
+	// The recorder timestamps storage operations with the kernel clock,
+	// which exists only once the deployment is built; bind it lazily.
+	var clock func() time.Duration
+	if telemetryDir != "" {
+		if err := os.MkdirAll(telemetryDir, 0o755); err != nil {
+			return err
+		}
+		var err error
+		stream, err = telemetry.CreateStream(filepath.Join(telemetryDir, "events.ndjson"))
+		if err != nil {
+			return err
+		}
+		defer stream.Close()
+		rec, err := telemetry.NewRecorder(stream, func() time.Duration {
+			if clock == nil {
+				return 0
+			}
+			return clock()
+		})
+		if err != nil {
+			return err
+		}
+		setup.Telemetry = rec
+	}
+	res, err := experiment.Build(setup)
 	if err != nil {
 		return err
 	}
+	clock = res.Kernel.Now
+	return finishDeploy(res, setup, telemetryDir, stream, prog)
+}
+
+func finishDeploy(res *experiment.Result, setup experiment.Setup, telemetryDir string, stream *telemetry.Stream, prog *telemetry.Progress) error {
+	res.Network.Start()
+	res.Completed = res.Network.RunUntilComplete(setup.Limit)
+	res.CompletionTime = res.Network.CompletionTime()
+	res.FinishTelemetry()
+	if prog != nil {
+		prog.Final()
+	}
+
 	dead, completed, eepromFaults := 0, 0, 0
 	for _, n := range res.Network.Nodes {
 		if n.Dead() {
@@ -185,6 +264,33 @@ func runChaos(spec string, rows, cols, packets int, seed int64) error {
 	} else {
 		fmt.Println("completion: survivors did not all finish within the limit")
 	}
+
+	if telemetryDir != "" {
+		until := res.CompletionTime
+		if !res.Completed {
+			until = setup.Limit
+		}
+		counters := telemetry.CountersFromSnapshot(res.Collector.Snapshot(until))
+		counters.PublishExpvar("mnp")
+		promPath := filepath.Join(telemetryDir, "counters.prom")
+		f, err := os.Create(promPath)
+		if err != nil {
+			return err
+		}
+		if err := counters.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := stream.Close(); err != nil {
+			return fmt.Errorf("telemetry stream: %w", err)
+		}
+		fmt.Printf("telemetry: %d NDJSON records in %s, counters in %s\n",
+			stream.Lines(), filepath.Join(telemetryDir, "events.ndjson"), promPath)
+	}
+
 	if err := res.VerifyImages(); err != nil {
 		return fmt.Errorf("image verification: %w", err)
 	}
@@ -194,7 +300,7 @@ func runChaos(spec string, rows, cols, packets int, seed int64) error {
 	}
 	fmt.Println("invariants: write-once, in-order, advertisement, sleep, sender-exclusivity all held")
 	if !res.Completed {
-		return fmt.Errorf("chaos run incomplete")
+		return fmt.Errorf("deployment incomplete")
 	}
 	return nil
 }

@@ -4,18 +4,26 @@
 //
 // Protocols: mnp (default), deluge, moap, xnp. Reports: summary
 // (default), energy, traffic, parents, progress.
+//
+// Telemetry and profiling (all default off): -telemetry dir/ streams
+// the run as NDJSON plus a Prometheus counters dump; -pprof,
+// -cpuprofile and -tracefile capture profiles; -live prints progress
+// on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"mnp/internal/experiment"
+	"mnp/internal/node"
 	"mnp/internal/packet"
 	"mnp/internal/radio"
+	"mnp/internal/telemetry"
 	"mnp/internal/trace"
 )
 
@@ -39,10 +47,23 @@ func run(args []string) error {
 		limit    = fs.Duration("limit", 6*time.Hour, "simulated time limit")
 		report   = fs.String("report", "summary", "report: summary, energy, traffic, parents, progress")
 		traceID  = fs.Int("trace", -1, "dump the protocol event trace of one node ID (-1 disables)")
+
+		telemetryDir = fs.String("telemetry", "", "write NDJSON events + Prometheus counters into this directory")
+		pprofAddr    = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		tracePath    = fs.String("tracefile", "", "write a runtime/trace capture to this file")
+		live         = fs.Bool("live", false, "report live run progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := telemetry.StartProfiling(telemetry.ProfileConfig{
+		PprofAddr: *pprofAddr, CPUProfile: *cpuProfile, TracePath: *tracePath,
+	})
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	var proto experiment.ProtocolKind
 	switch strings.ToLower(*protocol) {
@@ -69,25 +90,56 @@ func run(args []string) error {
 		Seed:         *seed,
 		Limit:        *limit,
 	}
-	// The trace log needs the kernel clock, which exists only after the
-	// deployment is built; bind it lazily.
+	// The trace log and telemetry recorder need the kernel clock, which
+	// exists only after the deployment is built; bind it lazily.
 	var (
 		clock func() time.Duration
 		tlog  *trace.Log
 	)
+	lazyNow := func() time.Duration {
+		if clock == nil {
+			return 0
+		}
+		return clock()
+	}
+	var observers node.MultiObserver
 	if *traceID >= 0 {
 		id := packet.NodeID(*traceID)
 		var err error
-		tlog, err = trace.NewLog(func() time.Duration {
-			if clock == nil {
-				return 0
-			}
-			return clock()
-		}, trace.WithNodeFilter(func(n packet.NodeID) bool { return n == id }))
+		tlog, err = trace.NewLog(lazyNow,
+			trace.WithNodeFilter(func(n packet.NodeID) bool { return n == id }))
 		if err != nil {
 			return err
 		}
-		setup.Observer = tlog
+		observers = append(observers, tlog)
+	}
+	var prog *telemetry.Progress
+	if *live {
+		prog = telemetry.NewProgress(os.Stderr, "mnpsim", *rows**cols, time.Second)
+		observers = append(observers, prog)
+	}
+	switch len(observers) {
+	case 0:
+	case 1:
+		setup.Observer = observers[0]
+	default:
+		setup.Observer = observers
+	}
+	var stream *telemetry.Stream
+	if *telemetryDir != "" {
+		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+			return err
+		}
+		stream, err = telemetry.CreateStream(filepath.Join(*telemetryDir, "events.ndjson"))
+		if err != nil {
+			return err
+		}
+		defer stream.Close()
+		rec, err := telemetry.NewRecorder(stream, lazyNow)
+		if err != nil {
+			return err
+		}
+		setup.Telemetry = rec
 	}
 	res, err := experiment.Build(setup)
 	if err != nil {
@@ -97,6 +149,35 @@ func run(args []string) error {
 	res.Network.Start()
 	res.Completed = res.Network.RunUntilComplete(setup.Limit)
 	res.CompletionTime = res.Network.CompletionTime()
+	res.FinishTelemetry()
+	if prog != nil {
+		prog.Final()
+	}
+	if stream != nil {
+		until := res.CompletionTime
+		if !res.Completed {
+			until = setup.Limit
+		}
+		counters := telemetry.CountersFromSnapshot(res.Collector.Snapshot(until))
+		counters.PublishExpvar("mnp")
+		promPath := filepath.Join(*telemetryDir, "counters.prom")
+		pf, err := os.Create(promPath)
+		if err != nil {
+			return err
+		}
+		if err := counters.WritePrometheus(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+		if err := stream.Close(); err != nil {
+			return fmt.Errorf("telemetry stream: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: %d NDJSON records in %s, counters in %s\n",
+			stream.Lines(), filepath.Join(*telemetryDir, "events.ndjson"), promPath)
+	}
 
 	ct := res.CompletionTime
 	fmt.Printf("topology: %s (%d nodes), program: %d packets (%.1f KB), protocol: %s, power: %d, seed: %d\n",

@@ -2,8 +2,11 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"mnp/internal/telemetry"
 )
 
 // capture redirects stdout around fn and returns what was printed.
@@ -97,5 +100,32 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestTelemetryAndLive(t *testing.T) {
+	dir := t.TempDir()
+	_, err := capture(t, func() error {
+		return run([]string{"-rows", "2", "-cols", "2", "-packets", "16", "-seed", "3",
+			"-telemetry", dir, "-live"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "events.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadAll(f)
+	if err != nil {
+		t.Fatalf("NDJSON stream does not fully parse: %v", err)
+	}
+	if len(recs) < 10 || recs[0].Type != telemetry.TypeMeta ||
+		recs[len(recs)-1].Type != telemetry.TypeSummary {
+		t.Fatalf("stream shape wrong: %d records", len(recs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "counters.prom")); err != nil {
+		t.Error(err)
 	}
 }

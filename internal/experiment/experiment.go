@@ -20,6 +20,7 @@ import (
 	"mnp/internal/packet"
 	"mnp/internal/radio"
 	"mnp/internal/sim"
+	"mnp/internal/telemetry"
 	"mnp/internal/topology"
 	"mnp/internal/xnp"
 )
@@ -99,6 +100,11 @@ type Setup struct {
 	// airtime hooks; set fields like AllowRadioOnInSleep or
 	// SenderOverlapBudget here. Use &invariant.Config{} for defaults.
 	Invariants *invariant.Config
+	// Telemetry, when non-nil, streams the run as NDJSON: a meta record,
+	// the fault plan, every observation, every invariant violation, and
+	// a final counters summary. Nil (the default) leaves the run
+	// byte-identical to an uninstrumented one.
+	Telemetry *telemetry.Recorder
 }
 
 func (s Setup) withDefaults() Setup {
@@ -149,7 +155,22 @@ func Run(s Setup) (*Result, error) {
 	res.Network.Start()
 	res.Completed = res.Network.RunUntilComplete(res.Setup.Limit)
 	res.CompletionTime = res.Network.CompletionTime()
+	res.FinishTelemetry()
 	return res, nil
+}
+
+// FinishTelemetry emits the final counters summary to the attached
+// telemetry recorder. Run calls it automatically; callers driving the
+// kernel themselves (after Build) call it once the run is over.
+func (r *Result) FinishTelemetry() {
+	if r.Setup.Telemetry == nil {
+		return
+	}
+	until := r.CompletionTime
+	if !r.Completed {
+		until = r.Setup.Limit
+	}
+	r.Setup.Telemetry.Summary(telemetry.CountersFromSnapshot(r.Collector.Snapshot(until)).Snapshot())
 }
 
 // Build constructs the deployment without starting the protocols, so
@@ -247,6 +268,18 @@ func Build(s Setup) (*Result, error) {
 	if s.Observer != nil {
 		observers = append(observers, s.Observer)
 	}
+	if s.Telemetry != nil {
+		// The stream opens with the run's identity, then the full fault
+		// plan — emitted up front so a reader of a truncated stream still
+		// knows what was going to be injected.
+		s.Telemetry.Meta(s.Name, s.Seed, layout.N(), img.TotalPackets(), s.Protocol.String())
+		if s.Faults != nil {
+			for _, ev := range s.Faults.Events {
+				s.Telemetry.Fault(ev.At, ev.Kind.String(), ev.Describe())
+			}
+		}
+		observers = append(observers, s.Telemetry)
+	}
 	if s.Invariants != nil {
 		icfg := *s.Invariants
 		icfg.Now = kernel.Now
@@ -254,6 +287,15 @@ func Build(s Setup) (*Result, error) {
 		icfg.Neighbor = func(a, b packet.NodeID) bool {
 			d, err := layout.Distance(a, b)
 			return err == nil && d <= rangeFt
+		}
+		if s.Telemetry != nil {
+			rec, prev := s.Telemetry, icfg.OnViolation
+			icfg.OnViolation = func(v invariant.Violation) {
+				rec.Violation(v.At, v.Node, v.Rule, v.Detail)
+				if prev != nil {
+					prev(v)
+				}
+			}
 		}
 		checker, err = invariant.New(icfg)
 		if err != nil {

@@ -322,43 +322,67 @@ func (p *Plan) applyRandomCrashes(env Env, ev Event, rng *rand.Rand) {
 	}
 }
 
+// String returns the fault-kind label used in plan summaries and
+// telemetry records.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindReboot:
+		return "reboot"
+	case KindPartition:
+		return "partition"
+	case KindDegrade:
+		return "degrade"
+	case KindEEPROM:
+		return "eeprom-errors"
+	case KindRandomCrashes:
+		return "randkill"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Describe renders one event for logs and telemetry streams.
+func (ev Event) Describe() string {
+	switch ev.Kind {
+	case KindCrash:
+		return fmt.Sprintf("crash %v @%v", ev.Node, ev.At)
+	case KindReboot:
+		return fmt.Sprintf("reboot %v @%v (down %v)", ev.Node, ev.At, ev.Downtime)
+	case KindPartition:
+		return fmt.Sprintf("partition %d nodes [%v, %v)", len(ev.Group), ev.At, ev.Until)
+	case KindDegrade:
+		arrow := "->"
+		if ev.Bidirectional {
+			arrow = "<->"
+		}
+		return fmt.Sprintf("degrade %v%s%v %.0f%% [%v, %v)", ev.Src, arrow, ev.Dst, ev.Drop*100, ev.At, ev.Until)
+	case KindEEPROM:
+		who := fmt.Sprintf("%v", ev.Node)
+		if ev.Node == Wildcard {
+			who = "*"
+		}
+		win := ""
+		if ev.Until > 0 || ev.At > 0 {
+			win = fmt.Sprintf(" [%v, %v)", ev.At, ev.Until)
+		}
+		return fmt.Sprintf("eeprom-errors %s %.1f%%%s", who, ev.Drop*100, win)
+	case KindRandomCrashes:
+		return fmt.Sprintf("randkill %d [%v, %v]", ev.Count, ev.At, ev.Until)
+	default:
+		return fmt.Sprintf("fault(%d)", int(ev.Kind))
+	}
+}
+
 // String summarizes the plan for logs.
 func (p *Plan) String() string {
 	if len(p.Events) == 0 {
 		return "faults: none"
 	}
-	out := make([]string, 0, len(p.Events))
-	for _, ev := range p.Events {
-		switch ev.Kind {
-		case KindCrash:
-			out = append(out, fmt.Sprintf("crash %v @%v", ev.Node, ev.At))
-		case KindReboot:
-			out = append(out, fmt.Sprintf("reboot %v @%v (down %v)", ev.Node, ev.At, ev.Downtime))
-		case KindPartition:
-			out = append(out, fmt.Sprintf("partition %d nodes [%v, %v)", len(ev.Group), ev.At, ev.Until))
-		case KindDegrade:
-			arrow := "->"
-			if ev.Bidirectional {
-				arrow = "<->"
-			}
-			out = append(out, fmt.Sprintf("degrade %v%s%v %.0f%% [%v, %v)", ev.Src, arrow, ev.Dst, ev.Drop*100, ev.At, ev.Until))
-		case KindEEPROM:
-			who := fmt.Sprintf("%v", ev.Node)
-			if ev.Node == Wildcard {
-				who = "*"
-			}
-			win := ""
-			if ev.Until > 0 || ev.At > 0 {
-				win = fmt.Sprintf(" [%v, %v)", ev.At, ev.Until)
-			}
-			out = append(out, fmt.Sprintf("eeprom-errors %s %.1f%%%s", who, ev.Drop*100, win))
-		case KindRandomCrashes:
-			out = append(out, fmt.Sprintf("randkill %d [%v, %v]", ev.Count, ev.At, ev.Until))
-		}
-	}
-	s := "faults: " + out[0]
-	for _, item := range out[1:] {
-		s += "; " + item
+	s := "faults: " + p.Events[0].Describe()
+	for _, ev := range p.Events[1:] {
+		s += "; " + ev.Describe()
 	}
 	return s
 }

@@ -66,8 +66,12 @@ type Network struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 	start  time.Time
-	rngMu  sync.Mutex
-	rng    *rand.Rand
+	// edgeRNG holds one loss-model generator per directed link,
+	// allocated lazily. It is owned exclusively by the hub goroutine
+	// (deliver → linkSucceeds), so it needs no lock — and because each
+	// edge has its own stream, the loss sequence a given link sees does
+	// not depend on how transmissions from unrelated links interleave.
+	edgeRNG map[[2]packet.NodeID]*rand.Rand
 }
 
 // New builds a live network; protocols start immediately.
@@ -88,11 +92,11 @@ func New(cfg Config, factory func(id packet.NodeID) node.Protocol) (*Network, er
 		return nil, fmt.Errorf("livenet: no range for power %d", cfg.Power)
 	}
 	n := &Network{
-		cfg:   cfg,
-		hub:   make(chan transmission, 1024),
-		stop:  make(chan struct{}),
-		start: time.Now(),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		hub:     make(chan transmission, 1024),
+		stop:    make(chan struct{}),
+		start:   time.Now(),
+		edgeRNG: make(map[[2]packet.NodeID]*rand.Rand),
 	}
 	for i := 0; i < cfg.Layout.N(); i++ {
 		id := packet.NodeID(i)
@@ -194,7 +198,7 @@ func (n *Network) deliver(tx transmission) {
 		if dist > rangeFt {
 			continue
 		}
-		if !n.linkSucceeds(dist, rangeFt, len(frame)) {
+		if !n.linkSucceeds(tx.from, ln.id, dist, rangeFt, len(frame)) {
 			continue
 		}
 		decoded, err := packet.Decode(frame)
@@ -210,14 +214,30 @@ func (n *Network) deliver(tx transmission) {
 	}
 }
 
-func (n *Network) linkSucceeds(dist, rangeFt float64, bytes int) bool {
+// linkSucceeds rolls the loss model for one directed link. Hub
+// goroutine only — the per-edge generators are unsynchronized.
+func (n *Network) linkSucceeds(from, to packet.NodeID, dist, rangeFt float64, bytes int) bool {
 	frac := dist / rangeFt
 	p := n.cfg.Radio
 	ber := p.BERFloor * math.Exp(math.Log(p.BERCeil/p.BERFloor)*frac*frac)
 	success := math.Pow(1-ber, float64(bytes*8))
-	n.rngMu.Lock()
-	defer n.rngMu.Unlock()
-	return n.rng.Float64() < success
+	return n.edgeRand(from, to).Float64() < success
+}
+
+// edgeRand returns the directed link's generator, seeding it on first
+// use from the run seed and both endpoints so every edge gets a
+// distinct, reproducible stream.
+func (n *Network) edgeRand(from, to packet.NodeID) *rand.Rand {
+	key := [2]packet.NodeID{from, to}
+	if r, ok := n.edgeRNG[key]; ok {
+		return r
+	}
+	seed := n.cfg.Seed
+	seed ^= (int64(from) + 1) * 0x5851F42D4C957F2D
+	seed ^= (int64(to) + 1) * 0x2545F4914F6CDD1D
+	r := rand.New(rand.NewSource(seed))
+	n.edgeRNG[key] = r
+	return r
 }
 
 type liveTimer struct {

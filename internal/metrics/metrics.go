@@ -385,6 +385,63 @@ func (c *Collector) CompletedFractionAt(t time.Duration) float64 {
 	return float64(done) / float64(len(c.nodes))
 }
 
+// Snapshot is the aggregate view of a run the telemetry layer exports:
+// everything is summed over nodes, and durations are integrated over
+// [0, until).
+type Snapshot struct {
+	// Nodes is the fleet size; Completed counts nodes holding the full
+	// program.
+	Nodes, Completed int
+	// Tx, Rx, and Collisions are whole-network frame totals.
+	Tx, Rx, Collisions int
+	// TxByClass and RxByClass break the totals down by accounting class.
+	TxByClass, RxByClass map[packet.Class]int
+	// EEPROMReadBytes and EEPROMWriteBytes are whole-network flash traffic.
+	EEPROMReadBytes, EEPROMWriteBytes int
+	// SenderEvents counts became-sender transitions (won competitions).
+	SenderEvents int
+	// ConcurrencyViolations counts same-neighborhood concurrent data sends.
+	ConcurrencyViolations int
+	// RadioOnTotal is radio-on time summed over nodes; SleepTotal is its
+	// complement against Nodes × until.
+	RadioOnTotal, SleepTotal time.Duration
+	// SegmentCompletions maps segment ID to how many nodes completed it.
+	SegmentCompletions map[int]int
+}
+
+// Snapshot aggregates the collector's per-node state over [0, until).
+func (c *Collector) Snapshot(until time.Duration) Snapshot {
+	s := Snapshot{
+		Nodes:                 len(c.nodes),
+		TxByClass:             make(map[packet.Class]int, numClasses),
+		RxByClass:             make(map[packet.Class]int, numClasses),
+		SenderEvents:          len(c.senders),
+		ConcurrencyViolations: c.violations,
+		SegmentCompletions:    make(map[int]int),
+	}
+	for i := range c.nodes {
+		st := &c.nodes[i]
+		if st.completed {
+			s.Completed++
+		}
+		s.Tx += st.tx
+		s.Rx += st.rx
+		s.Collisions += st.collided
+		for class := 1; class < numClasses; class++ {
+			s.TxByClass[packet.Class(class)] += st.txByClass[class]
+			s.RxByClass[packet.Class(class)] += st.rxByClass[class]
+		}
+		s.EEPROMReadBytes += st.eepromReadBytes
+		s.EEPROMWriteBytes += st.eepromWriteBytes
+		s.RadioOnTotal += c.ActiveRadioTime(packet.NodeID(i), 0, until)
+		for seg := range st.segTimes {
+			s.SegmentCompletions[seg]++
+		}
+	}
+	s.SleepTotal = time.Duration(len(c.nodes))*until - s.RadioOnTotal
+	return s
+}
+
 // MeanActiveRadioTime averages ActiveRadioTime over all nodes.
 func (c *Collector) MeanActiveRadioTime(until time.Duration) time.Duration {
 	if len(c.nodes) == 0 {

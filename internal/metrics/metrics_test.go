@@ -238,3 +238,78 @@ func TestMeanActiveRadioTimes(t *testing.T) {
 		t.Fatalf("mean ART after adv = %v, want %v", got, want)
 	}
 }
+
+// A node that never sleeps has one radio interval, opened at boot and
+// never closed. Run-end accounting must close it at the horizon — the
+// still-open active time may not be lost, in any report that
+// integrates radio time.
+func TestActiveRadioTimeNeverSleeps(t *testing.T) {
+	c, _ := newCollector(t)
+	c.RadioState(0, 0, true) // on at boot, never off
+	until := 42 * time.Minute
+	if got := c.ActiveRadioTime(0, 0, until); got != until {
+		t.Fatalf("never-sleeping node ART = %v, want %v", got, until)
+	}
+	// The open interval is closed at the horizon, not dropped, even when
+	// a measurement window starts mid-interval.
+	if got := c.ActiveRadioTime(0, 10*time.Minute, until); got != 32*time.Minute {
+		t.Fatalf("windowed ART = %v, want 32m", got)
+	}
+	// Ledger idle time sees the full interval too.
+	l := c.Ledger(0, until)
+	if l.IdleListening != until {
+		t.Fatalf("ledger idle = %v, want %v", l.IdleListening, until)
+	}
+	// And the telemetry snapshot: all of the node's time is radio-on,
+	// none is sleep.
+	s := c.Snapshot(until)
+	wantOn := until // only node 0 ever turned its radio on
+	if s.RadioOnTotal != wantOn {
+		t.Fatalf("snapshot radio-on = %v, want %v", s.RadioOnTotal, wantOn)
+	}
+	if s.SleepTotal != time.Duration(s.Nodes)*until-wantOn {
+		t.Fatalf("snapshot sleep = %v", s.SleepTotal)
+	}
+}
+
+func TestSnapshotAggregates(t *testing.T) {
+	c, now := newCollector(t)
+	*now = 0
+	c.RadioState(0, 0, true)
+	c.RadioState(0, time.Second, false)
+	c.FrameSent(0, packet.KindData, 34)
+	c.FrameSent(0, packet.KindAdvertise, 16)
+	c.FrameReceived(1, 0, packet.KindData, 34)
+	c.FrameCollided(2, 0, packet.KindData)
+	c.StorageOp(1, true, 1, 0, 22)
+	c.StorageOp(1, false, 1, 0, 22)
+	c.NodeEvent(1, time.Second, node.Event{Kind: node.EventGotSegment, Seg: 1})
+	c.NodeEvent(1, 2*time.Second, node.Event{Kind: node.EventGotCode})
+	c.NodeEvent(2, 2*time.Second, node.Event{Kind: node.EventBecameSender, Seg: 1})
+
+	s := c.Snapshot(10 * time.Second)
+	if s.Nodes != 4 || s.Completed != 1 {
+		t.Fatalf("nodes/completed = %d/%d", s.Nodes, s.Completed)
+	}
+	if s.Tx != 2 || s.Rx != 1 || s.Collisions != 1 {
+		t.Fatalf("tx/rx/coll = %d/%d/%d", s.Tx, s.Rx, s.Collisions)
+	}
+	if s.TxByClass[packet.ClassData] != 1 || s.TxByClass[packet.ClassAdvertisement] != 1 {
+		t.Fatalf("tx by class = %v", s.TxByClass)
+	}
+	if s.EEPROMWriteBytes != 22 || s.EEPROMReadBytes != 22 {
+		t.Fatalf("eeprom bytes = %d/%d", s.EEPROMWriteBytes, s.EEPROMReadBytes)
+	}
+	if s.SenderEvents != 1 {
+		t.Fatalf("sender events = %d", s.SenderEvents)
+	}
+	if s.SegmentCompletions[1] != 1 {
+		t.Fatalf("segment completions = %v", s.SegmentCompletions)
+	}
+	if s.RadioOnTotal != time.Second {
+		t.Fatalf("radio on = %v", s.RadioOnTotal)
+	}
+	if s.SleepTotal != 4*10*time.Second-time.Second {
+		t.Fatalf("sleep = %v", s.SleepTotal)
+	}
+}

@@ -36,13 +36,17 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(sum / float64(len(xs)))
 }
 
-// MinMax returns the extremes of xs; it panics on an empty slice.
-func MinMax(xs []float64) (minV, maxV float64) {
+// MinMax returns the extremes of xs. It errors on an empty slice or
+// any NaN element rather than returning an undefined value.
+func MinMax(xs []float64) (minV, maxV float64, err error) {
 	if len(xs) == 0 {
-		panic("stats: MinMax of empty slice")
+		return 0, 0, fmt.Errorf("stats: MinMax of empty slice")
 	}
 	minV, maxV = xs[0], xs[0]
-	for _, x := range xs[1:] {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return 0, 0, fmt.Errorf("stats: MinMax input contains NaN")
+		}
 		if x < minV {
 			minV = x
 		}
@@ -50,25 +54,33 @@ func MinMax(xs []float64) (minV, maxV float64) {
 			maxV = x
 		}
 	}
-	return minV, maxV
+	return minV, maxV, nil
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using
-// nearest-rank; it panics on an empty slice or a p outside [0, 100].
-func Percentile(xs []float64, p float64) float64 {
+// nearest-rank. Defined results for every valid input: a singleton
+// slice yields its only element for any p, p=0 yields the minimum,
+// p=100 the maximum. Empty input, p outside [0, 100], or a NaN element
+// return an error — never a NaN result and never a panic.
+func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("stats: Percentile of empty slice")
+		return 0, fmt.Errorf("stats: Percentile of empty slice")
 	}
-	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	if math.IsNaN(p) || p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of range [0, 100]", p)
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: Percentile input contains NaN")
+		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if p == 0 {
-		return sorted[0]
+		return sorted[0], nil
 	}
 	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
-	return sorted[rank-1]
+	return sorted[rank-1], nil
 }
 
 // Line is a fitted y = Intercept + Slope*x with its goodness of fit.
@@ -80,13 +92,19 @@ type Line struct {
 
 // LinearFit computes an ordinary-least-squares fit of ys against xs.
 // It returns an error when fewer than two points are given, the slices
-// disagree in length, or all xs are identical.
+// disagree in length, all xs are identical, or any coordinate is
+// non-finite — so a successful fit never carries NaN or Inf.
 func LinearFit(xs, ys []float64) (Line, error) {
 	if len(xs) != len(ys) {
 		return Line{}, fmt.Errorf("stats: %d xs vs %d ys", len(xs), len(ys))
 	}
 	if len(xs) < 2 {
 		return Line{}, fmt.Errorf("stats: need at least 2 points, got %d", len(xs))
+	}
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return Line{}, fmt.Errorf("stats: non-finite point (%v, %v) at index %d", xs[i], ys[i], i)
+		}
 	}
 	mx, my := Mean(xs), Mean(ys)
 	var sxx, sxy, syy float64

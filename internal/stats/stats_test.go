@@ -28,43 +28,80 @@ func TestStdDev(t *testing.T) {
 }
 
 func TestMinMax(t *testing.T) {
-	lo, hi := MinMax([]float64{3, -1, 7, 2})
-	if lo != -1 || hi != 7 {
-		t.Errorf("MinMax = %v, %v", lo, hi)
+	tests := []struct {
+		name     string
+		xs       []float64
+		min, max float64
+		wantErr  bool
+	}{
+		{name: "mixed", xs: []float64{3, -1, 7, 2}, min: -1, max: 7},
+		{name: "singleton", xs: []float64{4}, min: 4, max: 4},
+		{name: "empty", xs: nil, wantErr: true},
+		{name: "nan", xs: []float64{1, math.NaN()}, wantErr: true},
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MinMax(nil) did not panic")
-		}
-	}()
-	MinMax(nil)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lo, hi, err := MinMax(tt.xs)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("MinMax(%v) succeeded, want error", tt.xs)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo != tt.min || hi != tt.max {
+				t.Errorf("MinMax = %v, %v, want %v, %v", lo, hi, tt.min, tt.max)
+			}
+		})
+	}
 }
 
 func TestPercentile(t *testing.T) {
-	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	tests := []struct{ p, want float64 }{
-		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10},
+	ten := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		name    string
+		xs      []float64
+		p       float64
+		want    float64
+		wantErr bool
+	}{
+		{name: "p0 is min", xs: ten, p: 0, want: 1},
+		{name: "p10", xs: ten, p: 10, want: 1},
+		{name: "median", xs: ten, p: 50, want: 5},
+		{name: "p90", xs: ten, p: 90, want: 9},
+		{name: "p100 is max", xs: ten, p: 100, want: 10},
+		{name: "singleton p0", xs: []float64{7}, p: 0, want: 7},
+		{name: "singleton p50", xs: []float64{7}, p: 50, want: 7},
+		{name: "singleton p100", xs: []float64{7}, p: 100, want: 7},
+		{name: "unsorted input", xs: []float64{9, 1, 5}, p: 50, want: 5},
+		{name: "empty", xs: nil, p: 50, wantErr: true},
+		{name: "p below range", xs: ten, p: -1, wantErr: true},
+		{name: "p above range", xs: ten, p: 101, wantErr: true},
+		{name: "p NaN", xs: ten, p: math.NaN(), wantErr: true},
+		{name: "NaN element", xs: []float64{1, math.NaN()}, p: 50, wantErr: true},
 	}
 	for _, tt := range tests {
-		if got := Percentile(xs, tt.p); got != tt.want {
-			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
-		}
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Percentile(tt.xs, tt.p)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("Percentile(%v, %v) = %v, want error", tt.xs, tt.p, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(got) {
+				t.Fatalf("Percentile(%v, %v) = NaN", tt.xs, tt.p)
+			}
+			if got != tt.want {
+				t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
+			}
+		})
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Percentile(101) did not panic")
-		}
-	}()
-	Percentile(xs, 101)
-}
-
-func TestPercentileEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Percentile of empty did not panic")
-		}
-	}()
-	Percentile(nil, 50)
 }
 
 func TestLinearFitExact(t *testing.T) {
@@ -79,15 +116,30 @@ func TestLinearFitExact(t *testing.T) {
 	}
 }
 
-func TestLinearFitErrors(t *testing.T) {
-	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
-		t.Error("single point accepted")
+func TestLinearFitDegenerate(t *testing.T) {
+	tests := []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{name: "single point", xs: []float64{1}, ys: []float64{1}},
+		{name: "empty", xs: nil, ys: nil},
+		{name: "length mismatch", xs: []float64{1, 2}, ys: []float64{1}},
+		{name: "all xs equal", xs: []float64{2, 2, 2}, ys: []float64{1, 2, 3}},
+		{name: "NaN x", xs: []float64{1, math.NaN()}, ys: []float64{1, 2}},
+		{name: "NaN y", xs: []float64{1, 2}, ys: []float64{math.NaN(), 2}},
+		{name: "Inf x", xs: []float64{1, math.Inf(1)}, ys: []float64{1, 2}},
+		{name: "Inf y", xs: []float64{1, 2}, ys: []float64{1, math.Inf(-1)}},
 	}
-	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
-		t.Error("length mismatch accepted")
-	}
-	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
-		t.Error("degenerate xs accepted")
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			line, err := LinearFit(tt.xs, tt.ys)
+			if err == nil {
+				t.Fatalf("LinearFit(%v, %v) = %+v, want error", tt.xs, tt.ys, line)
+			}
+			if math.IsNaN(line.Slope) || math.IsNaN(line.Intercept) || math.IsNaN(line.R2) {
+				t.Fatalf("error path leaked NaN: %+v", line)
+			}
+		})
 	}
 }
 
@@ -127,7 +179,8 @@ func TestQuickLinearFitRecovery(t *testing.T) {
 	}
 }
 
-// Property: percentiles are monotone in p and bounded by min/max.
+// Property: percentiles are monotone in p, bounded by min/max, and
+// never error or produce NaN on finite input.
 func TestQuickPercentileMonotone(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -135,11 +188,14 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		for i := range xs {
 			xs[i] = rng.NormFloat64() * 100
 		}
-		lo, hi := MinMax(xs)
+		lo, hi, err := MinMax(xs)
+		if err != nil {
+			return false
+		}
 		prev := lo
 		for p := 0.0; p <= 100; p += 5 {
-			v := Percentile(xs, p)
-			if v < prev || v < lo || v > hi {
+			v, err := Percentile(xs, p)
+			if err != nil || math.IsNaN(v) || v < prev || v < lo || v > hi {
 				return false
 			}
 			prev = v

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzRecordRoundTrip drives arbitrary field values through
+// Encode/DecodeLine and requires exact struct equality back. Because
+// every field is omitempty, this also proves that zero values and
+// absent fields are genuinely interchangeable — the property the flat
+// Record schema depends on.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add("event", int64(12345), 3, "state", "rx", 2, 17, 1, true, false, 22,
+		"write-once", "detail", "run", int64(42), 15, 640, "MNP")
+	f.Add("meta", int64(0), 0, "", "", 0, 0, 0, false, false, 0, "", "", "", int64(-1), 0, 0, "")
+	f.Add("summary", int64(-9e18), -1, "\x00", "日本語", 1<<30, -5, 99, true, true, -1,
+		"r\nule", "de\"tail", "n\\ame", int64(9e18), -64, 1, "проток")
+	f.Fuzz(func(t *testing.T, typ string, tns int64, nodeID int,
+		kind, state string, seg, pkt, peer int, on, write bool, nbytes int,
+		rule, detail, name string, seed int64, nodes, packets int, protocol string) {
+		// encoding/json replaces invalid UTF-8 with U+FFFD, so exact
+		// round-trips only hold for valid strings — which is all the
+		// writer ever produces.
+		for _, s := range []string{typ, kind, state, rule, detail, name, protocol} {
+			if !utf8.ValidString(s) {
+				t.Skip("invalid UTF-8 input")
+			}
+		}
+		want := Record{
+			Type: typ, T: tns, Node: nodeID,
+			Kind: kind, State: state, Seg: seg, Pkt: pkt, Peer: peer,
+			On: on, Write: write, Bytes: nbytes,
+			Rule: rule, Detail: detail,
+			Name: name, Seed: seed, Nodes: nodes, Packets: packets, Protocol: protocol,
+		}
+		b, err := want.Encode()
+		if typ == "" {
+			if err == nil {
+				t.Fatal("Encode accepted an empty type")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		if bytes.IndexByte(b[:len(b)-1], '\n') >= 0 {
+			t.Fatalf("encoded record spans multiple lines: %q", b)
+		}
+		got, err := DecodeLine(bytes.TrimSuffix(b, []byte("\n")))
+		if err != nil {
+			t.Fatalf("decode %q: %v", b, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	})
+}

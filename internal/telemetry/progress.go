@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mnp/internal/node"
+	"mnp/internal/packet"
+)
+
+// Progress is a node.Observer that narrates a run on a side channel
+// (stderr, in the CLIs): nodes complete, segment completions, and the
+// latest simulated time, throttled by wall clock so a multi-hour sweep
+// prints a heartbeat instead of a firehose. It never touches stdout,
+// so report output and golden hashes are unaffected.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	label    string
+	total    int
+	interval time.Duration
+
+	done    int
+	segs    int
+	lastSim time.Duration
+	lastOut time.Time
+}
+
+// NewProgress builds a reporter for a fleet of total nodes writing to
+// w at most once per interval (default 1s).
+func NewProgress(w io.Writer, label string, total int, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Progress{w: w, label: label, total: total, interval: interval}
+}
+
+var _ node.Observer = (*Progress)(nil)
+
+// NodeEvent implements node.Observer.
+func (p *Progress) NodeEvent(id packet.NodeID, at time.Duration, ev node.Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch ev.Kind {
+	case node.EventGotCode:
+		p.done++
+	case node.EventGotSegment:
+		p.segs++
+	default:
+		return
+	}
+	p.lastSim = at
+	// Always report the finish line; throttle everything else.
+	if p.done == p.total || time.Since(p.lastOut) >= p.interval {
+		p.lastOut = time.Now()
+		p.emit()
+	}
+}
+
+// RadioState implements node.Observer.
+func (p *Progress) RadioState(packet.NodeID, time.Duration, bool) {}
+
+// StorageOp implements node.Observer.
+func (p *Progress) StorageOp(packet.NodeID, bool, int, int, int) {}
+
+// Final prints a last line unconditionally (call after the run ends).
+func (p *Progress) Final() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.emit()
+}
+
+func (p *Progress) emit() {
+	fmt.Fprintf(p.w, "%s: %d/%d nodes complete, %d segment completions, t=%v\n",
+		p.label, p.done, p.total, p.segs, p.lastSim.Round(time.Second))
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Stream writes NDJSON records to an underlying writer, buffered. It is
+// safe for concurrent use (the live runtime emits from many
+// goroutines); in the single-threaded DES the mutex is uncontended.
+//
+// The first write error latches: subsequent Emits become no-ops
+// returning the same error, so a full disk fails the run once instead
+// of once per event.
+type Stream struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	err    error
+	lines  int
+}
+
+// NewStream wraps w. If w is also an io.Closer, Close closes it.
+func NewStream(w io.Writer) *Stream {
+	s := &Stream{w: bufio.NewWriterSize(w, 64<<10)}
+	if c, ok := w.(io.Closer); ok {
+		s.closer = c
+	}
+	return s
+}
+
+// CreateStream opens (truncating) an NDJSON file at path.
+func CreateStream(path string) (*Stream, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return NewStream(f), nil
+}
+
+// Emit appends one record to the stream.
+func (s *Stream) Emit(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	b, err := r.Encode()
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return err
+	}
+	s.lines++
+	return nil
+}
+
+// Lines returns how many records have been written.
+func (s *Stream) Lines() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lines
+}
+
+// Err returns the latched write error, if any.
+func (s *Stream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes the buffer and closes the underlying file, if the
+// stream owns one. It returns the latched error in preference to a
+// flush error, so the first failure is the one reported.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.w.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	if s.closer != nil {
+		if cerr := s.closer.Close(); s.err == nil {
+			s.err = cerr
+		}
+		s.closer = nil
+	}
+	return s.err
+}
+
+// ReadAll decodes every NDJSON line from r, failing on the first line
+// that does not parse. It is the verification counterpart to a run's
+// emitted stream.
+func ReadAll(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		rec, err := DecodeLine(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -117,3 +117,105 @@ func TestMultiObserverFansOut(t *testing.T) {
 		t.Fatalf("fan-out lens = %d, %d", a.Len(), b.Len())
 	}
 }
+
+// TestRingWrapMultipleLaps drives the ring several full laps past its
+// capacity and checks the dump invariants the CLI relies on: Entries
+// is chronological, exactly cap entries survive, they are the newest
+// cap observations, and Dropped accounts for every eviction.
+func TestRingWrapMultipleLaps(t *testing.T) {
+	const cap, total = 7, 7*3 + 2
+	l, err := NewLog(fixedClock(0), WithCap(cap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		l.NodeEvent(packet.NodeID(i), time.Duration(i)*time.Second, node.Event{Kind: node.EventGotSegment, Seg: i})
+	}
+	if l.Len() != cap {
+		t.Fatalf("Len = %d, want %d", l.Len(), cap)
+	}
+	if l.Dropped() != total-cap {
+		t.Fatalf("Dropped = %d, want %d", l.Dropped(), total-cap)
+	}
+	got := l.Entries()
+	if len(got) != cap {
+		t.Fatalf("Entries returned %d, want %d", len(got), cap)
+	}
+	for i, e := range got {
+		wantSeg := total - cap + i
+		if e.Event.Seg != wantSeg || e.At != time.Duration(wantSeg)*time.Second {
+			t.Fatalf("entry %d = seg %d at %v, want seg %d", i, e.Event.Seg, e.At, wantSeg)
+		}
+		if i > 0 && got[i].At <= got[i-1].At {
+			t.Fatalf("entries out of chronological order at %d: %v <= %v", i, got[i].At, got[i-1].At)
+		}
+	}
+	var sb strings.Builder
+	if err := l.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != cap+1 { // entries + dropped note
+		t.Fatalf("dump has %d lines, want %d", len(lines), cap+1)
+	}
+	if want := "16 earlier entries dropped"; !strings.Contains(lines[cap], want) {
+		t.Errorf("dropped note = %q, want %q", lines[cap], want)
+	}
+}
+
+// TestRingWrapExactBoundary fills the ring to exactly its capacity —
+// the edge between append mode and overwrite mode — then one past it.
+func TestRingWrapExactBoundary(t *testing.T) {
+	l, err := NewLog(fixedClock(0), WithCap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		l.RadioState(packet.NodeID(i), time.Duration(i), i%2 == 0)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("Dropped = %d before overflow, want 0", l.Dropped())
+	}
+	if got := l.Entries(); got[0].Node != 0 || got[3].Node != 3 {
+		t.Fatalf("full-but-not-wrapped entries misordered: %v", got)
+	}
+	l.RadioState(4, 4, true)
+	if l.Dropped() != 1 {
+		t.Fatalf("Dropped = %d after one overflow, want 1", l.Dropped())
+	}
+	got := l.Entries()
+	want := []packet.NodeID{1, 2, 3, 4}
+	for i := range want {
+		if got[i].Node != want[i] {
+			t.Fatalf("entries after boundary wrap = %v, want nodes %v", got, want)
+		}
+	}
+}
+
+// TestNodeEntriesAfterWrap checks the per-node view stays ordered and
+// complete across evictions.
+func TestNodeEntriesAfterWrap(t *testing.T) {
+	l, err := NewLog(fixedClock(0), WithCap(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave two nodes for 12 observations; the ring keeps the
+	// last 6 (three per node).
+	for i := 0; i < 12; i++ {
+		l.StorageOp(packet.NodeID(i%2), true, 0, i, 22)
+	}
+	for _, id := range []packet.NodeID{0, 1} {
+		got := l.NodeEntries(id)
+		if len(got) != 3 {
+			t.Fatalf("node %v retained %d entries, want 3", id, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Pkt <= got[i-1].Pkt {
+				t.Fatalf("node %v entries out of order: %v", id, got)
+			}
+		}
+		if got[2].Pkt < 10 {
+			t.Fatalf("node %v kept stale entry %d, want the newest", id, got[2].Pkt)
+		}
+	}
+}
