@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_sim.json
 
 FUZZTIME ?= 10s
 
-.PHONY: build test race race-short vet fuzz-short bench clean
+.PHONY: build test race race-short race-engine vet fuzz-short bench clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,16 @@ race:
 race-short:
 	$(GO) test -race -short ./...
 
+# race-engine exercises the sharded lockstep engine under the race
+# detector: the engine and kernel-window unit tests, the sharded
+# experiment suite (sequential-vs-sharded equivalence at shards 1 and
+# 4, determinism with inline and parallel workers, sharded chaos), and
+# the sharded golden hash (shards=4, workers 1 and 4).
+race-engine:
+	$(GO) test -race ./internal/engine/ ./internal/sim/
+	$(GO) test -race ./internal/experiment/ -run 'TestSetupValidate|TestSharded'
+	$(GO) test -race . -run 'TestShardedRunMatchesGolden'
+
 vet:
 	$(GO) vet ./...
 
@@ -36,16 +46,19 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzRecordRoundTrip' -fuzztime $(FUZZTIME) ./internal/telemetry/
 
 # bench runs the simulation-substrate micro-benchmarks plus the
-# end-to-end Figure 8 regeneration and writes the numbers (ns/op,
-# B/op, allocs/op) as JSON to $(BENCH_OUT). The micro-benchmarks get a
-# large fixed iteration count so the lazily built radio tables amortize
-# out; the Fig8 run is seconds per iteration, so two suffice.
+# end-to-end Figure 8 regeneration and the sharded-engine scaling
+# series, and writes the numbers (ns/op, B/op, allocs/op) as JSON to
+# $(BENCH_OUT). The micro-benchmarks get a large fixed iteration count
+# so the lazily built radio tables amortize out; the Fig8 and engine
+# runs are seconds per iteration, so a couple suffice.
 bench: build
 	@rm -f bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkMediumTransmit|BenchmarkKernelSchedule' \
 		-benchmem -benchtime 2000x . | tee bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8ActiveRadioTime$$' \
 		-benchmem -benchtime 2x . | tee -a bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineGrid' \
+		-benchmem -benchtime 2x -timeout 30m . | tee -a bench.out
 	$(GO) run ./tools/benchjson < bench.out > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 

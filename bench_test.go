@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"mnp/internal/experiment"
 	"mnp/internal/packet"
 	"mnp/internal/radio"
 	"mnp/internal/sim"
@@ -166,6 +167,37 @@ func BenchmarkMediumTransmit(b *testing.B) {
 					}
 				}
 				k.Run(time.Hour) // drain the finish events
+			}
+		})
+	}
+}
+
+// BenchmarkEngineGrid measures the sharded lockstep engine against the
+// sequential kernel: one full 60x60-grid (3600-node) dissemination per
+// iteration at 1, 2, 4, and 8 spatial shards. The shards=1 case is the
+// classic single-kernel path; higher counts exercise partitioning,
+// per-window advancement, and barrier ghost exchange. The window phase
+// parallelizes across cores (Workers=0 auto-selects); on a single-core
+// host the series instead bounds the lockstep overhead — sharded runs
+// should stay within a few percent of sequential despite the ~300k
+// barrier exchanges a run this size performs. Feeds BENCH_sim.json via
+// `make bench`.
+func BenchmarkEngineGrid(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(experiment.Setup{
+					Name: "engine-grid", Rows: 60, Cols: 60, ImagePackets: 64,
+					Seed: 42 + int64(i), Shards: shards,
+					Limit: 12 * time.Hour,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatalf("shards=%d seed=%d: dissemination incomplete", shards, 42+int64(i))
+				}
 			}
 		})
 	}

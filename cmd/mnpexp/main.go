@@ -58,6 +58,7 @@ func run(args []string) error {
 		rows     = fs.Int("rows", 8, "deployment grid rows (-faults / -telemetry runs)")
 		cols     = fs.Int("cols", 8, "deployment grid cols (-faults / -telemetry runs)")
 		packets  = fs.Int("packets", 128, "deployment image size in packets (-faults / -telemetry runs)")
+		shards   = fs.Int("shards", 1, "spatial shards per run, advanced in lockstep (1 = classic sequential kernel)")
 
 		telemetryDir = fs.String("telemetry", "", "write NDJSON events + Prometheus counters for a deployment run into this directory")
 		pprofAddr    = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address for the whole invocation")
@@ -75,6 +76,9 @@ func run(args []string) error {
 		return err
 	}
 	defer stopProf()
+	// Predefined specs fix everything but the seed; the shard count
+	// reaches them through the package default.
+	experiment.SetDefaultShards(*shards)
 	if *faultStr != "" || *telemetryDir != "" {
 		if len(fs.Args()) > 0 {
 			return fmt.Errorf("-faults/-telemetry run their own deployment; drop the experiment IDs %v", fs.Args())
@@ -204,8 +208,9 @@ func runDeploy(spec string, rows, cols, packets int, seed int64, telemetryDir st
 		setup.Observer = prog
 	}
 	var stream *telemetry.Stream
-	// The recorder timestamps storage operations with the kernel clock,
-	// which exists only once the deployment is built; bind it lazily.
+	// The recorder timestamps storage operations with the run clock (the
+	// kernel sequentially, the engine's replay clock when sharded), which
+	// exists only once the deployment is built; bind it lazily.
 	var clock func() time.Duration
 	if telemetryDir != "" {
 		if err := os.MkdirAll(telemetryDir, 0o755); err != nil {
@@ -232,14 +237,12 @@ func runDeploy(spec string, rows, cols, packets int, seed int64, telemetryDir st
 	if err != nil {
 		return err
 	}
-	clock = res.Kernel.Now
+	clock = res.Now
 	return finishDeploy(res, setup, telemetryDir, stream, prog)
 }
 
 func finishDeploy(res *experiment.Result, setup experiment.Setup, telemetryDir string, stream *telemetry.Stream, prog *telemetry.Progress) error {
-	res.Network.Start()
-	res.Completed = res.Network.RunUntilComplete(setup.Limit)
-	res.CompletionTime = res.Network.CompletionTime()
+	res.RunToCompletion()
 	res.FinishTelemetry()
 	if prog != nil {
 		prog.Final()

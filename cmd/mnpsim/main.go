@@ -9,6 +9,10 @@
 // the run as NDJSON plus a Prometheus counters dump; -pprof,
 // -cpuprofile and -tracefile capture profiles; -live prints progress
 // on stderr.
+//
+// -shards N partitions the deployment into N spatial shards advanced
+// in conservative lockstep (deterministic per (seed, shards); see
+// DESIGN.md §4f); -workers controls shard parallelism.
 package main
 
 import (
@@ -44,6 +48,8 @@ func run(args []string) error {
 		protocol = fs.String("protocol", "mnp", "protocol: mnp, deluge, moap, xnp")
 		power    = fs.Int("power", radio.PowerSim, "TinyOS transmit power level (1,3,4,20,50,255)")
 		seed     = fs.Int64("seed", 1, "simulation seed")
+		shards   = fs.Int("shards", 1, "spatial shards run in lockstep (1 = classic sequential kernel)")
+		workers  = fs.Int("workers", 0, "shard goroutines: 0 auto, 1 inline, N parallel (needs -shards > 1)")
 		limit    = fs.Duration("limit", 6*time.Hour, "simulated time limit")
 		report   = fs.String("report", "summary", "report: summary, energy, traffic, parents, progress")
 		traceID  = fs.Int("trace", -1, "dump the protocol event trace of one node ID (-1 disables)")
@@ -88,10 +94,13 @@ func run(args []string) error {
 		Protocol:     proto,
 		Power:        *power,
 		Seed:         *seed,
+		Shards:       *shards,
+		Workers:      *workers,
 		Limit:        *limit,
 	}
-	// The trace log and telemetry recorder need the kernel clock, which
-	// exists only after the deployment is built; bind it lazily.
+	// The trace log and telemetry recorder need the run's clock (the
+	// kernel sequentially, the engine's replay clock when sharded),
+	// which exists only after the deployment is built; bind it lazily.
 	var (
 		clock func() time.Duration
 		tlog  *trace.Log
@@ -145,10 +154,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	clock = res.Kernel.Now
-	res.Network.Start()
-	res.Completed = res.Network.RunUntilComplete(setup.Limit)
-	res.CompletionTime = res.Network.CompletionTime()
+	clock = res.Now
+	res.RunToCompletion()
 	res.FinishTelemetry()
 	if prog != nil {
 		prog.Final()

@@ -126,6 +126,47 @@ func TestChaosRunMatchesGolden(t *testing.T) {
 	}
 }
 
+// goldenSharded pins the full per-node outcome of a sharded run at a
+// fixed (seed, shard count): sharded execution is a deterministic pure
+// function of that pair, independent of worker count, host CPU count,
+// and wall-clock scheduling. If this hash changes, the lockstep engine
+// picked up a source of nondeterminism (goroutine-order-dependent
+// ghost exchange, unseeded randomness) or a behavior-affecting change
+// to the sharded path landed without updating the golden.
+const goldenSharded = "cded8d711e22533c8fdf1aa1d4d3d181203ef2ae5f31dea5ad487870095f1268"
+
+func TestShardedRunMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sharded simulations in -short mode")
+	}
+	// Inline and parallel workers must produce the same bytes; run both.
+	for _, workers := range []int{1, 4} {
+		res, err := experiment.Run(experiment.Setup{
+			Name: "sharded-golden", Rows: 8, Cols: 8, ImagePackets: 64, Seed: 42,
+			Shards: 4, Workers: workers, Limit: 4 * time.Hour,
+			Invariants: &invariant.Config{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.VerifyInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		snap := res.Collector.Snapshot(res.CompletionTime)
+		var b strings.Builder
+		fmt.Fprintf(&b, "completed=%v at=%v tx=%d rx=%d collisions=%d senders=%d\n",
+			res.Completed, res.CompletionTime, snap.Tx, snap.Rx, snap.Collisions, snap.SenderEvents)
+		for _, n := range res.Network.Nodes {
+			fmt.Fprintf(&b, "%v completed=%v at=%v slots=%d\n",
+				n.ID(), n.Completed(), n.CompletedAt(), n.EEPROM().Slots())
+		}
+		if got := hex.EncodeToString(sumOf(b.String())); got != goldenSharded {
+			t.Errorf("workers=%d: sharded report hash = %s, want %s (sharded execution is no longer a pure function of (seed, shards))\n%s",
+				workers, got, goldenSharded, b.String())
+		}
+	}
+}
+
 func sumOf(s string) []byte {
 	h := sha256.Sum256([]byte(s))
 	return h[:]

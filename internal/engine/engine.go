@@ -1,0 +1,377 @@
+// Package engine is the execution layer between one experiment and the
+// simulation substrate. It offers two strategies over the same node,
+// radio, and kernel code: the sequential strategy (one kernel drives
+// everything, exactly the behavior the golden hashes pin down) and a
+// sharded strategy that spatially partitions the deployment into K
+// shards — each owning a kernel, a radio shard over the shared channel
+// geometry, and its nodes — and advances them in conservative lockstep
+// windows.
+//
+// The window length is the minimum cross-shard interaction latency: the
+// airtime of the smallest possible frame. A frame transmitted in one
+// window cannot end, and therefore cannot be delivered or finish
+// corrupting anyone, before the next barrier; so shards run a window
+// completely independently and exchange the boundary-crossing frames
+// (radio.Ghost records) at the barrier. Outboxes are merged by
+// (start, source, sequence) — a pure function of simulation state —
+// never by goroutine arrival order, which is what makes a sharded run a
+// deterministic function of (seed, shard count) even under -race.
+//
+// What sharding approximates (documented in DESIGN.md §4f): carrier
+// sense and collisions across a shard boundary take effect at the next
+// barrier rather than instantly (at most one window late, the window
+// being one minimal frame airtime), and per-delivery random draws come
+// from the owning shard's RNG stream rather than the single global one,
+// so a sharded run is statistically — not bitwise — equivalent to the
+// sequential run of the same seed.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"mnp/internal/node"
+	"mnp/internal/packet"
+	"mnp/internal/radio"
+	"mnp/internal/sim"
+)
+
+// Shard is one partition of the deployment: a kernel, a radio shard
+// over the shared geometry, and the IDs of the nodes it owns.
+type Shard struct {
+	Kernel *sim.Kernel
+	Medium *radio.Medium
+	Owned  []packet.NodeID
+}
+
+// Config parameterizes the sharded engine.
+type Config struct {
+	// Window is the lockstep window length; use ConservativeWindow.
+	// It must not exceed the minimum frame airtime or cross-shard
+	// frames could be due before the barrier that carries them.
+	Window time.Duration
+	// Workers selects the execution mode: <= 1 runs the shards inline
+	// on the calling goroutine (same results, no goroutines — the right
+	// mode on a single-CPU host); anything larger runs one goroutine
+	// per shard. 0 picks inline when the process has one CPU.
+	Workers int
+}
+
+// ConservativeWindow returns the largest safe lockstep window for a
+// channel: the airtime of a minimum-size frame, the soonest any
+// transmission can complete and so the soonest one shard's frame can
+// affect another shard's state.
+func ConservativeWindow(geo *radio.Geometry) time.Duration {
+	return geo.Airtime(packet.FrameOverhead)
+}
+
+type globalEvent struct {
+	at  time.Duration
+	seq int
+	fn  func()
+}
+
+// Engine drives K shards in lockstep windows.
+type Engine struct {
+	shards  []*Shard
+	window  time.Duration
+	workers int
+
+	barrier time.Duration // time of the last completed barrier
+	globals []globalEvent // pending, sorted by (at, seq)
+	gseq    int
+
+	obs     node.Observer // replayed global observer, nil when unused
+	tap     radio.Tap     // replayed global transmission tap
+	buffers []*Buffer
+
+	// replayNow is what Now returns: the current event's original time
+	// while replaying buffered observations, the barrier otherwise.
+	replayNow time.Duration
+
+	// cmd/done carry the per-window barrier protocol to the shard
+	// goroutines; both are nil in inline mode.
+	cmd  []chan time.Duration
+	done chan struct{}
+}
+
+// New builds an engine over the given shards. Shards must own disjoint
+// node sets covering the deployment; the caller (experiment.Build)
+// constructs them from Partition.
+func New(cfg Config, shards []*Shard) (*Engine, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("engine: no shards")
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("engine: window %v must be positive", cfg.Window)
+	}
+	for i, sh := range shards {
+		if sh == nil || sh.Kernel == nil || sh.Medium == nil {
+			return nil, fmt.Errorf("engine: shard %d incomplete", i)
+		}
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	e := &Engine{
+		shards:  shards,
+		window:  cfg.Window,
+		workers: workers,
+		buffers: make([]*Buffer, len(shards)),
+	}
+	for i := range e.buffers {
+		e.buffers[i] = &Buffer{now: shards[i].Kernel.Now}
+	}
+	return e, nil
+}
+
+// Shards returns the engine's shards (read-only; useful to tests and
+// fault wiring).
+func (e *Engine) Shards() []*Shard { return e.shards }
+
+// Window returns the lockstep window length.
+func (e *Engine) Window() time.Duration { return e.window }
+
+// Now is the engine's observation clock: during barrier replay it reads
+// the original time of the event being replayed, otherwise the current
+// barrier. Wire it wherever a sequential run would use Kernel.Now for
+// timestamping (telemetry, invariant checkers, trace logs).
+func (e *Engine) Now() time.Duration { return e.replayNow }
+
+// SetObserver installs the global observer fed by barrier replay. Per
+// -shard observations are buffered with their original timestamps and
+// replayed at each barrier in (time, node, sequence) order, so a
+// single-instance observer (a trace log, a telemetry recorder, an
+// invariant checker) sees one globally ordered stream exactly as it
+// would in a sequential run.
+func (e *Engine) SetObserver(obs node.Observer) { e.obs = obs }
+
+// SetTap installs the global transmission tap, replayed like the
+// observer stream (invariant checkers consume decoded packets).
+func (e *Engine) SetTap(t radio.Tap) { e.tap = t }
+
+// ShardObserver returns the buffering observer for shard i; experiment
+// wiring appends it to the shard's observer chain when a global
+// observer or tap is installed.
+func (e *Engine) ShardObserver(i int) *Buffer { return e.buffers[i] }
+
+// At schedules fn to run at the first barrier not earlier than t, with
+// every shard quiesced and advanced to the barrier. Fault plans use it
+// for whole-network actions (crashes, reboots, random kills): the
+// callback may touch any shard's kernel, medium, or nodes. Quantizing
+// to barriers delays an action by less than one window.
+func (e *Engine) At(t time.Duration, fn func()) {
+	ev := globalEvent{at: t, seq: e.gseq, fn: fn}
+	e.gseq++
+	i := sort.Search(len(e.globals), func(i int) bool {
+		g := e.globals[i]
+		return g.at > ev.at || (g.at == ev.at && g.seq > ev.seq)
+	})
+	e.globals = append(e.globals, globalEvent{})
+	copy(e.globals[i+1:], e.globals[i:])
+	e.globals[i] = ev
+}
+
+// RunUntil advances the simulation window by window until pred returns
+// true or simulated time passes limit; it reports whether pred was
+// satisfied. pred runs at barriers with all shards quiesced. Completion
+// is detected up to one window later than in a sequential run, but
+// completion *times* are exact (nodes record them on their own shard
+// clocks).
+func (e *Engine) RunUntil(pred func() bool, limit time.Duration) bool {
+	stop := e.startWorkers()
+	defer stop()
+	// Observations from before the run (node Start at time zero) are
+	// already buffered; replay them so pred and observers start from a
+	// consistent view.
+	e.replayBuffers()
+	if pred() {
+		return true
+	}
+	for e.barrier <= limit {
+		e.runGlobals()
+		next := e.barrier + e.window
+		if next > limit {
+			// Final, clamped window: run events at limit exactly, to
+			// match the sequential kernel's inclusive limit.
+			next = limit + 1
+		}
+		e.advanceShards(next)
+		e.exchange()
+		e.barrier = next
+		e.replayBuffers()
+		if pred() {
+			return true
+		}
+		if !e.skipIdle(limit) {
+			return false // every queue drained; nothing can ever happen
+		}
+	}
+	return false
+}
+
+// runGlobals executes every pending global event due at or before the
+// current barrier, in (time, sequence) order, with every shard clock
+// advanced to the barrier so callbacks observe a consistent "now".
+func (e *Engine) runGlobals() {
+	if len(e.globals) == 0 || e.globals[0].at > e.barrier {
+		return
+	}
+	for _, sh := range e.shards {
+		sh.Kernel.AdvanceTo(e.barrier)
+	}
+	for len(e.globals) > 0 && e.globals[0].at <= e.barrier {
+		ev := e.globals[0]
+		e.globals = e.globals[1:]
+		ev.fn()
+	}
+}
+
+// advanceShards runs every shard's kernel up to (exclusive) the next
+// barrier and leaves its clock parked exactly at it.
+func (e *Engine) advanceShards(next time.Duration) {
+	if e.cmd == nil {
+		for _, sh := range e.shards {
+			sh.Kernel.RunBefore(next)
+			sh.Kernel.AdvanceTo(next)
+		}
+		return
+	}
+	for _, c := range e.cmd {
+		c <- next
+	}
+	for range e.shards {
+		<-e.done
+	}
+}
+
+// exchange moves boundary-crossing frames between shards: every
+// shard's outbox is drained, the union is ordered by (start, source,
+// sequence), and each ghost is offered to every other shard (the
+// medium ignores ghosts inaudible to its nodes). Insertion order is a
+// pure function of simulation state, so two runs — or the same run
+// with a different worker count — exchange identically.
+func (e *Engine) exchange() {
+	type routed struct {
+		g    radio.Ghost
+		from int
+	}
+	var all []routed
+	for i, sh := range e.shards {
+		for _, g := range sh.Medium.TakeOutbox() {
+			all = append(all, routed{g: g, from: i})
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(a, b int) bool {
+		ga, gb := all[a].g, all[b].g
+		if ga.Start != gb.Start {
+			return ga.Start < gb.Start
+		}
+		if ga.Src != gb.Src {
+			return ga.Src < gb.Src
+		}
+		return ga.Seq < gb.Seq
+	})
+	for _, r := range all {
+		for j, sh := range e.shards {
+			if j == r.from {
+				continue
+			}
+			if err := sh.Medium.InsertGhost(r.g); err != nil {
+				panic(fmt.Sprintf("engine: ghost exchange: %v", err))
+			}
+		}
+	}
+}
+
+// skipIdle fast-forwards over empty windows: when the earliest pending
+// event (any shard's queue, or a global) is more than a window away,
+// the intervening barriers are no-ops — no frames can be in flight
+// (their finish events would be pending) — so the barrier jumps to the
+// window containing that event. Returns false when nothing is pending
+// anywhere, i.e. the simulation is over.
+func (e *Engine) skipIdle(limit time.Duration) bool {
+	earliest := time.Duration(-1)
+	for _, sh := range e.shards {
+		if at, ok := sh.Kernel.NextEventAt(); ok && (earliest < 0 || at < earliest) {
+			earliest = at
+		}
+	}
+	if len(e.globals) > 0 && (earliest < 0 || e.globals[0].at < earliest) {
+		earliest = e.globals[0].at
+	}
+	if earliest < 0 {
+		return false
+	}
+	if gap := earliest - e.barrier; gap > e.window {
+		e.barrier += e.window * (gap / e.window)
+	}
+	return true
+}
+
+// replayBuffers merges every shard's buffered observations by
+// (time, node, local sequence) and replays them into the global
+// observer and tap, substituting each event's original time into the
+// engine clock. With no global observer installed the buffers stay
+// empty and this is free.
+func (e *Engine) replayBuffers() {
+	defer func() { e.replayNow = e.barrier }()
+	if e.obs == nil && e.tap == nil {
+		return
+	}
+	cursors := make([]int, len(e.buffers))
+	for {
+		best := -1
+		for s, b := range e.buffers {
+			if cursors[s] >= len(b.recs) {
+				continue
+			}
+			if best < 0 || b.recs[cursors[s]].less(&e.buffers[best].recs[cursors[best]]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rec := &e.buffers[best].recs[cursors[best]]
+		cursors[best]++
+		e.replayNow = rec.at
+		rec.deliver(e.obs, e.tap)
+	}
+	for _, b := range e.buffers {
+		b.recs = b.recs[:0]
+	}
+}
+
+// --- worker machinery ---
+
+func (e *Engine) startWorkers() (stop func()) {
+	if e.workers <= 1 || len(e.shards) == 1 {
+		return func() {}
+	}
+	e.cmd = make([]chan time.Duration, len(e.shards))
+	e.done = make(chan struct{}, len(e.shards))
+	for i := range e.shards {
+		c := make(chan time.Duration)
+		e.cmd[i] = c
+		go func(sh *Shard) {
+			for next := range c {
+				sh.Kernel.RunBefore(next)
+				sh.Kernel.AdvanceTo(next)
+				e.done <- struct{}{}
+			}
+		}(e.shards[i])
+	}
+	return func() {
+		for _, c := range e.cmd {
+			close(c)
+		}
+		e.cmd, e.done = nil, nil
+	}
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"mnp/internal/packet"
+	"mnp/internal/radio"
+	"mnp/internal/sim"
+	"mnp/internal/topology"
+)
+
+func TestPartitionShapes(t *testing.T) {
+	layout, err := topology.Grid(5, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Partition(layout, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("got %d shards, want 4", len(parts))
+	}
+	// 15 nodes over 4 shards: sizes 4,4,4,3, disjoint, covering all.
+	seen := make(map[packet.NodeID]int)
+	for i, p := range parts {
+		want := 4
+		if i == 3 {
+			want = 3
+		}
+		if len(p) != want {
+			t.Fatalf("shard %d has %d nodes, want %d", i, len(p), want)
+		}
+		for _, id := range p {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("node %v in shards %d and %d", id, prev, i)
+			}
+			seen[id] = i
+		}
+	}
+	if len(seen) != layout.N() {
+		t.Fatalf("shards cover %d nodes, want %d", len(seen), layout.N())
+	}
+	// The 5x3 grid is taller than wide, so strips cut across Y: a
+	// shard's nodes must span a Y-range disjoint from later shards'.
+	maxY := func(p []packet.NodeID) float64 {
+		m := -1.0
+		for _, id := range p {
+			pt, err := layout.Pos(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pt.Y > m {
+				m = pt.Y
+			}
+		}
+		return m
+	}
+	minY := func(p []packet.NodeID) float64 {
+		m := 1e18
+		for _, id := range p {
+			pt, _ := layout.Pos(id)
+			if pt.Y < m {
+				m = pt.Y
+			}
+		}
+		return m
+	}
+	for i := 1; i < len(parts); i++ {
+		if maxY(parts[i-1]) > minY(parts[i]) {
+			t.Fatalf("shards %d and %d overlap along the cut axis", i-1, i)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	layout, _ := topology.Grid(6, 6, 10)
+	a, err := Partition(layout, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Partition(layout, 4)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("shard %d sizes differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("shard %d diverges at %d: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	layout, _ := topology.Grid(2, 2, 10)
+	if _, err := Partition(nil, 2); err == nil {
+		t.Error("nil layout accepted")
+	}
+	if _, err := Partition(layout, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := Partition(layout, 5); err == nil {
+		t.Error("more shards than nodes accepted")
+	}
+	if parts, err := Partition(layout, 4); err != nil || len(parts) != 4 {
+		t.Errorf("one node per shard: parts=%d err=%v", len(parts), err)
+	}
+}
+
+func TestConservativeWindow(t *testing.T) {
+	layout, _ := topology.Grid(2, 2, 10)
+	geo, err := radio.NewGeometry(layout, radio.DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ConservativeWindow(geo)
+	if w <= 0 {
+		t.Fatalf("window %v not positive", w)
+	}
+	if w != geo.Airtime(packet.FrameOverhead) {
+		t.Fatalf("window %v is not the minimum frame airtime", w)
+	}
+	// Conservative: no encodable frame can finish inside one window.
+	if full := geo.Airtime(packet.FrameOverhead + 1); full <= w {
+		t.Fatalf("a larger frame (%v) finishes within the window (%v)", full, w)
+	}
+}
+
+func TestEngineNewValidation(t *testing.T) {
+	layout, _ := topology.Grid(2, 2, 10)
+	geo, _ := radio.NewGeometry(layout, radio.DefaultParams(), 1)
+	k := sim.New(1)
+	m, err := radio.NewShardMedium(k, geo, []packet.NodeID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := &Shard{Kernel: k, Medium: m, Owned: []packet.NodeID{0, 1, 2, 3}}
+	if _, err := New(Config{Window: time.Millisecond}, nil); err == nil {
+		t.Error("no shards accepted")
+	}
+	if _, err := New(Config{Window: 0}, []*Shard{ok}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := New(Config{Window: time.Millisecond}, []*Shard{{Kernel: k}}); err == nil {
+		t.Error("shard without medium accepted")
+	}
+	if _, err := New(Config{Window: time.Millisecond}, []*Shard{ok}); err != nil {
+		t.Errorf("valid engine rejected: %v", err)
+	}
+}
+
+// TestEngineSkipsIdleWindows pins the fast-forward: with events tens of
+// seconds apart and a ~3ms window, stepping barrier by barrier would
+// take thousands of iterations; the engine must jump straight to the
+// windows containing work, fire global events at their quantized
+// barriers, and report run-over when every queue drains.
+func TestEngineSkipsIdleWindows(t *testing.T) {
+	layout, _ := topology.Grid(2, 2, 10)
+	geo, _ := radio.NewGeometry(layout, radio.DefaultParams(), 1)
+	parts, _ := Partition(layout, 2)
+	shards := make([]*Shard, len(parts))
+	for i, owned := range parts {
+		k := sim.New(int64(i + 1))
+		m, err := radio.NewShardMedium(k, geo, owned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = &Shard{Kernel: k, Medium: m, Owned: owned}
+	}
+	e, err := New(Config{Window: ConservativeWindow(geo), Workers: 1}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []string
+	shards[0].Kernel.MustSchedule(10*time.Second, func() { fired = append(fired, "k0@10s") })
+	shards[1].Kernel.MustSchedule(30*time.Second, func() { fired = append(fired, "k1@30s") })
+	e.At(20*time.Second, func() { fired = append(fired, "global@20s") })
+	if e.RunUntil(func() bool { return false }, time.Hour) {
+		t.Fatal("pred never true, RunUntil reported success")
+	}
+	want := []string{"k0@10s", "global@20s", "k1@30s"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	// Global events quantize to a barrier at or after their nominal
+	// time, by less than one window.
+	for _, sh := range shards {
+		if now := sh.Kernel.Now(); now > time.Hour+e.Window() {
+			t.Fatalf("shard clock %v ran past the limit", now)
+		}
+	}
+}
+
+// TestEnginePredStopsAtBarrier verifies RunUntil returns true as soon
+// as the predicate holds at a barrier, without running to the limit.
+func TestEnginePredStopsAtBarrier(t *testing.T) {
+	layout, _ := topology.Grid(2, 2, 10)
+	geo, _ := radio.NewGeometry(layout, radio.DefaultParams(), 1)
+	parts, _ := Partition(layout, 2)
+	shards := make([]*Shard, len(parts))
+	for i, owned := range parts {
+		k := sim.New(int64(i + 1))
+		m, _ := radio.NewShardMedium(k, geo, owned)
+		shards[i] = &Shard{Kernel: k, Medium: m, Owned: owned}
+	}
+	e, _ := New(Config{Window: ConservativeWindow(geo), Workers: 1}, shards)
+	done := false
+	shards[1].Kernel.MustSchedule(5*time.Second, func() { done = true })
+	if !e.RunUntil(func() bool { return done }, time.Hour) {
+		t.Fatal("predicate satisfied but RunUntil reported failure")
+	}
+	for _, sh := range shards {
+		if now := sh.Kernel.Now(); now > 5*time.Second+e.Window() {
+			t.Fatalf("engine overshot: shard clock at %v", now)
+		}
+	}
+}

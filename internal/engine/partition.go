@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"mnp/internal/packet"
+	"mnp/internal/topology"
+)
+
+// Partition splits a layout into k spatially contiguous shards of
+// near-equal size. Nodes are sorted along the axis of larger extent
+// (ties broken by the other axis, then by ID) and cut into k
+// consecutive strips, so each shard is a slab of the deployment and
+// only nodes near the cuts have cross-shard neighbors. The result is a
+// pure function of (layout, k).
+func Partition(layout *topology.Layout, k int) ([][]packet.NodeID, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("engine: nil layout")
+	}
+	n := layout.N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("engine: shard count %d outside [1, %d]", k, n)
+	}
+	pts := make([]topology.Point, n)
+	var minX, maxX, minY, maxY float64
+	for i := 0; i < n; i++ {
+		p, err := layout.Pos(packet.NodeID(i))
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = p
+		if i == 0 || p.X < minX {
+			minX = p.X
+		}
+		if i == 0 || p.X > maxX {
+			maxX = p.X
+		}
+		if i == 0 || p.Y < minY {
+			minY = p.Y
+		}
+		if i == 0 || p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	major := func(p topology.Point) (float64, float64) { return p.X, p.Y }
+	if maxY-minY > maxX-minX {
+		major = func(p topology.Point) (float64, float64) { return p.Y, p.X }
+	}
+	ids := make([]packet.NodeID, n)
+	for i := range ids {
+		ids[i] = packet.NodeID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ma, sa := major(pts[ids[a]])
+		mb, sb := major(pts[ids[b]])
+		if ma != mb {
+			return ma < mb
+		}
+		if sa != sb {
+			return sa < sb
+		}
+		return ids[a] < ids[b]
+	})
+	shards := make([][]packet.NodeID, k)
+	base, extra := n/k, n%k
+	at := 0
+	for s := 0; s < k; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		shards[s] = append([]packet.NodeID(nil), ids[at:at+size]...)
+		at += size
+	}
+	return shards, nil
+}

@@ -11,6 +11,7 @@ import (
 
 	"mnp/internal/core"
 	"mnp/internal/deluge"
+	"mnp/internal/engine"
 	"mnp/internal/faults"
 	"mnp/internal/image"
 	"mnp/internal/invariant"
@@ -105,6 +106,32 @@ type Setup struct {
 	// a final counters summary. Nil (the default) leaves the run
 	// byte-identical to an uninstrumented one.
 	Telemetry *telemetry.Recorder
+	// Shards splits the deployment into that many spatially contiguous
+	// shards run in conservative lockstep by internal/engine. 0 (the
+	// default) takes the package default (SetDefaultShards); 1 runs the
+	// classic single-kernel path, byte-identical to earlier releases.
+	// Sharded runs are deterministic functions of (Seed, Shards) but
+	// not bitwise identical to sequential ones — see DESIGN.md §4f.
+	Shards int
+	// Workers bounds the sharded engine's parallelism: <= 1 advances
+	// shards inline on the calling goroutine (identical results, no
+	// goroutines), anything larger runs one goroutine per shard, and 0
+	// picks a mode from the host CPU count. Ignored when Shards <= 1.
+	Workers int
+}
+
+// defaultShards is what Setups that leave Shards zero get; mnpexp's
+// -shards flag reaches the predefined spec Setups through it.
+var defaultShards = 1
+
+// SetDefaultShards sets the shard count for Setups that do not choose
+// one. n < 1 resets to the sequential default. Not safe to call
+// concurrently with Build.
+func SetDefaultShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultShards = n
 }
 
 func (s Setup) withDefaults() Setup {
@@ -123,7 +150,44 @@ func (s Setup) withDefaults() Setup {
 	if s.Limit == 0 {
 		s.Limit = 12 * time.Hour
 	}
+	if s.Shards == 0 {
+		s.Shards = defaultShards
+	}
 	return s
+}
+
+// Validate rejects malformed deployment descriptions with descriptive
+// errors before Build constructs anything. Build calls it (after
+// applying defaults); call it directly to vet user input early.
+func (s Setup) Validate() error {
+	n := 0
+	if s.Layout != nil {
+		n = s.Layout.N()
+	} else {
+		if s.Rows <= 0 || s.Cols <= 0 {
+			return fmt.Errorf("experiment %s: grid %dx%d is invalid: rows and cols must be positive", s.Name, s.Rows, s.Cols)
+		}
+		if s.Spacing <= 0 {
+			return fmt.Errorf("experiment %s: spacing %g ft must be positive", s.Name, s.Spacing)
+		}
+		n = s.Rows * s.Cols
+	}
+	if n == 0 {
+		return fmt.Errorf("experiment %s: layout has no nodes", s.Name)
+	}
+	if s.Shards < 1 {
+		return fmt.Errorf("experiment %s: shard count %d must be at least 1", s.Name, s.Shards)
+	}
+	if s.Shards > n {
+		return fmt.Errorf("experiment %s: %d shards exceed the %d-node deployment", s.Name, s.Shards, n)
+	}
+	if s.ImagePackets < 0 {
+		return fmt.Errorf("experiment %s: image size %d packets is negative", s.Name, s.ImagePackets)
+	}
+	if s.Limit < 0 {
+		return fmt.Errorf("experiment %s: time limit %v is negative", s.Name, s.Limit)
+	}
+	return nil
 }
 
 // Result is a completed run plus everything needed to render reports.
@@ -136,6 +200,16 @@ type Result struct {
 	Image     *image.Image
 	Kernel    *sim.Kernel
 
+	// Engine drives a sharded run (Setup.Shards > 1); nil on the
+	// sequential path. Kernel and Medium are nil when Engine is set —
+	// no single pair exists — and Collector holds the deterministic
+	// cross-shard merge, available once the run finishes.
+	Engine *engine.Engine
+	// Now is the run's observation clock: Kernel.Now sequentially, the
+	// engine's replay-aware clock when sharded. Bind lazily-clocked
+	// observers (trace logs, telemetry recorders) to it.
+	Now func() time.Duration
+
 	// Invariants is the attached checker, nil unless Setup.Invariants
 	// was set.
 	Invariants *invariant.Checker
@@ -144,6 +218,10 @@ type Result struct {
 	Completed bool
 	// CompletionTime is the instant the last node completed.
 	CompletionTime time.Duration
+
+	// Per-shard state merged by RunToCompletion.
+	shardCollectors []*metrics.Collector
+	shardOf         []int
 }
 
 // Run executes the deployment until full coverage or the time limit.
@@ -152,11 +230,41 @@ func Run(s Setup) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Network.Start()
-	res.Completed = res.Network.RunUntilComplete(res.Setup.Limit)
-	res.CompletionTime = res.Network.CompletionTime()
+	res.RunToCompletion()
 	res.FinishTelemetry()
 	return res, nil
+}
+
+// RunToCompletion starts every node, drives the simulation (whichever
+// engine Build selected) until full coverage or the time limit, and
+// finalizes the result's merged collector. Callers needing to schedule
+// instrumentation between Build and the run use it in place of driving
+// res.Kernel by hand; sequential results can still be driven manually.
+func (r *Result) RunToCompletion() {
+	r.Network.Start()
+	if r.Engine != nil {
+		r.Completed = r.Engine.RunUntil(r.Network.AllCompleted, r.Setup.Limit)
+	} else {
+		r.Completed = r.Network.RunUntilComplete(r.Setup.Limit)
+	}
+	r.CompletionTime = r.Network.CompletionTime()
+	r.finalizeShards()
+}
+
+// finalizeShards merges per-shard collectors into Result.Collector
+// deterministically (per-node rows from the owning shard, summed
+// timelines, (time, node)-merged sender logs). A no-op sequentially.
+func (r *Result) finalizeShards() {
+	if r.Engine == nil || r.Collector != nil {
+		return
+	}
+	merged, err := metrics.MergeShards(r.shardCollectors, r.shardOf)
+	if err != nil {
+		// The collectors and owner map were built together in Build;
+		// a mismatch is a harness bug, not a runtime condition.
+		panic(fmt.Sprintf("experiment %s: merging shard collectors: %v", r.Setup.Name, err))
+	}
+	r.Collector = merged
 }
 
 // FinishTelemetry emits the final counters summary to the attached
@@ -178,6 +286,9 @@ func (r *Result) FinishTelemetry() {
 // follow with res.Network.Start() and drive res.Kernel directly.
 func Build(s Setup) (*Result, error) {
 	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	raw := s.ImageData
 	if raw == nil {
 		raw = make([]byte, s.ImagePackets*image.DefaultPayloadSize)
@@ -196,7 +307,16 @@ func Build(s Setup) (*Result, error) {
 			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
 		}
 	}
-	kernel := sim.New(s.Seed)
+	if int(s.BaseID) >= layout.N() {
+		return nil, fmt.Errorf("experiment %s: base %v outside the %d-node layout", s.Name, s.BaseID, layout.N())
+	}
+	if s.Shards > 1 {
+		return buildSharded(s, img, layout)
+	}
+	// Events scale with nodes (a few timers and an in-flight frame
+	// each); sizing the heap up front keeps 10k-node runs from
+	// re-growing it mid-run. Capacity never affects event order.
+	kernel := sim.NewSized(s.Seed, 4*layout.N())
 	rp := radio.DefaultParams()
 	if s.Radio != nil {
 		rp = *s.Radio
@@ -219,49 +339,7 @@ func Build(s Setup) (*Result, error) {
 	}
 	medium.SetSink(collector)
 
-	if int(s.BaseID) >= layout.N() {
-		return nil, fmt.Errorf("experiment %s: base %v outside the %d-node layout", s.Name, s.BaseID, layout.N())
-	}
-	factory := func(id packet.NodeID) (node.Protocol, node.Config) {
-		ncfg := node.Config{TxPower: s.Power}
-		if s.Battery != nil {
-			ncfg.Battery = s.Battery(id)
-		}
-		base := id == s.BaseID
-		switch s.Protocol {
-		case ProtocolDeluge:
-			cfg := deluge.DefaultConfig()
-			if base {
-				cfg.Base = true
-				cfg.Image = img
-			}
-			return deluge.New(cfg), ncfg
-		case ProtocolMOAP:
-			cfg := moap.DefaultConfig()
-			if base {
-				cfg.Base = true
-				cfg.Image = img
-			}
-			return moap.New(cfg), ncfg
-		case ProtocolXNP:
-			cfg := xnp.DefaultConfig()
-			if base {
-				cfg.Base = true
-				cfg.Image = img
-			}
-			return xnp.New(cfg), ncfg
-		default:
-			cfg := core.DefaultConfig()
-			if base {
-				cfg.Base = true
-				cfg.Image = img
-			}
-			if s.MNP != nil {
-				s.MNP(id, &cfg)
-			}
-			return core.New(cfg), ncfg
-		}
-	}
+	factory := s.protocolFactory(img)
 	var checker *invariant.Checker
 	var obs node.Observer = collector
 	observers := node.MultiObserver{collector}
@@ -331,8 +409,210 @@ func Build(s Setup) (*Result, error) {
 		Collector: collector,
 		Image:     img,
 		Kernel:    kernel,
+		Now:       kernel.Now,
 
 		Invariants: checker,
+	}, nil
+}
+
+// protocolFactory builds the per-node protocol factory shared by the
+// sequential and sharded paths.
+func (s Setup) protocolFactory(img *image.Image) node.Factory {
+	return func(id packet.NodeID) (node.Protocol, node.Config) {
+		ncfg := node.Config{TxPower: s.Power}
+		if s.Battery != nil {
+			ncfg.Battery = s.Battery(id)
+		}
+		base := id == s.BaseID
+		switch s.Protocol {
+		case ProtocolDeluge:
+			cfg := deluge.DefaultConfig()
+			if base {
+				cfg.Base = true
+				cfg.Image = img
+			}
+			return deluge.New(cfg), ncfg
+		case ProtocolMOAP:
+			cfg := moap.DefaultConfig()
+			if base {
+				cfg.Base = true
+				cfg.Image = img
+			}
+			return moap.New(cfg), ncfg
+		case ProtocolXNP:
+			cfg := xnp.DefaultConfig()
+			if base {
+				cfg.Base = true
+				cfg.Image = img
+			}
+			return xnp.New(cfg), ncfg
+		default:
+			cfg := core.DefaultConfig()
+			if base {
+				cfg.Base = true
+				cfg.Image = img
+			}
+			if s.MNP != nil {
+				s.MNP(id, &cfg)
+			}
+			return core.New(cfg), ncfg
+		}
+	}
+}
+
+// buildSharded assembles the K-shard deployment: one kernel, radio
+// shard, and collector per partition over a shared channel geometry,
+// nodes pinned to the shard owning them, and single-instance observers
+// (trace logs, telemetry, the invariant checker) fed through the
+// engine's deterministic barrier replay.
+func buildSharded(s Setup, img *image.Image, layout *topology.Layout) (*Result, error) {
+	rp := radio.DefaultParams()
+	if s.Radio != nil {
+		rp = *s.Radio
+	}
+	geo, err := radio.NewGeometry(layout, rp, s.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	rangeFt, err := geo.RangeFor(s.Power)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	parts, err := engine.Partition(layout, s.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	shardOf := make([]int, layout.N())
+	shards := make([]*engine.Shard, len(parts))
+	collectors := make([]*metrics.Collector, len(parts))
+	for i, owned := range parts {
+		for _, id := range owned {
+			shardOf[id] = i
+		}
+		// Distinct RNG streams per shard; the stride keeps shard seeds
+		// clear of the seed+1 (link noise) and seed+77 (image fill)
+		// derivations.
+		kernel := sim.NewSized(s.Seed+0x5EED*int64(i+1), 4*len(owned)+64)
+		medium, err := radio.NewShardMedium(kernel, geo, owned)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+		}
+		collector, err := metrics.NewCollector(metrics.Config{
+			Layout:            layout,
+			Airtime:           geo.Airtime,
+			NeighborhoodRange: rangeFt,
+		}, kernel.Now)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+		}
+		medium.SetSink(collector)
+		collectors[i] = collector
+		shards[i] = &engine.Shard{Kernel: kernel, Medium: medium, Owned: owned}
+	}
+	eng, err := engine.New(engine.Config{
+		Window:  engine.ConservativeWindow(geo),
+		Workers: s.Workers,
+	}, shards)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+
+	// Single-instance observers see the merged stream via barrier
+	// replay, in the same relative order the sequential path wires
+	// them: user observer, telemetry, invariant checker.
+	var checker *invariant.Checker
+	var globalObs node.MultiObserver
+	if s.Observer != nil {
+		globalObs = append(globalObs, s.Observer)
+	}
+	if s.Telemetry != nil {
+		s.Telemetry.SetClock(eng.Now)
+		s.Telemetry.Meta(s.Name, s.Seed, layout.N(), img.TotalPackets(), s.Protocol.String())
+		if s.Faults != nil {
+			for _, ev := range s.Faults.Events {
+				s.Telemetry.Fault(ev.At, ev.Kind.String(), ev.Describe())
+			}
+		}
+		globalObs = append(globalObs, s.Telemetry)
+	}
+	if s.Invariants != nil {
+		icfg := *s.Invariants
+		icfg.Now = eng.Now
+		icfg.Airtime = geo.Airtime
+		icfg.Neighbor = func(a, b packet.NodeID) bool {
+			d, err := layout.Distance(a, b)
+			return err == nil && d <= rangeFt
+		}
+		if s.Telemetry != nil {
+			rec, prev := s.Telemetry, icfg.OnViolation
+			icfg.OnViolation = func(v invariant.Violation) {
+				rec.Violation(v.At, v.Node, v.Rule, v.Detail)
+				if prev != nil {
+					prev(v)
+				}
+			}
+		}
+		checker, err = invariant.New(icfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+		}
+		globalObs = append(globalObs, checker)
+		eng.SetTap(checker.PacketSent)
+		for i, sh := range shards {
+			sh.Medium.SetTap(eng.ShardObserver(i).PacketSent)
+		}
+	}
+	buffering := len(globalObs) > 0 || checker != nil
+	if len(globalObs) == 1 {
+		eng.SetObserver(globalObs[0])
+	} else if len(globalObs) > 1 {
+		eng.SetObserver(globalObs)
+	}
+
+	place := func(id packet.NodeID) (*sim.Kernel, *radio.Medium, node.Observer) {
+		sh := shards[shardOf[id]]
+		var obs node.Observer = collectors[shardOf[id]]
+		if buffering {
+			obs = node.MultiObserver{obs, eng.ShardObserver(shardOf[id])}
+		}
+		return sh.Kernel, sh.Medium, obs
+	}
+	nw, err := node.NewPartitionedNetwork(layout, s.protocolFactory(img), place)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	if s.Faults != nil {
+		clocks := make([]func() time.Duration, len(shards))
+		mediums := make([]*radio.Medium, len(shards))
+		for i, sh := range shards {
+			clocks[i] = sh.Kernel.Now
+			mediums[i] = sh.Medium
+		}
+		err := s.Faults.ApplySharded(faults.ShardedEnv{
+			At:      eng.At,
+			Network: nw,
+			Mediums: mediums,
+			Clocks:  clocks,
+			ShardOf: func(id packet.NodeID) int { return shardOf[id] },
+			Seed:    s.Seed,
+			Base:    s.BaseID,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+		}
+	}
+	return &Result{
+		Setup:   s,
+		Layout:  layout,
+		Network: nw,
+		Image:   img,
+		Engine:  eng,
+		Now:     eng.Now,
+
+		Invariants: checker,
+
+		shardCollectors: collectors,
+		shardOf:         shardOf,
 	}, nil
 }
 

@@ -267,6 +267,183 @@ func (p *Plan) Apply(env Env) error {
 	return nil
 }
 
+// ShardedEnv is what ApplySharded needs from the sharded engine
+// harness. Whole-network actions go through At (executed at window
+// barriers with every shard quiesced); per-link and per-node hooks
+// install on each shard against that shard's clock.
+type ShardedEnv struct {
+	// At schedules fn at the first window barrier not earlier than t
+	// (wire it to engine.At). Actions quantize to barriers, i.e. fire
+	// at most one window — one minimal frame airtime — late.
+	At      func(t time.Duration, fn func())
+	Network *node.Network
+	// Mediums are the per-shard radio mediums.
+	Mediums []*radio.Medium
+	// Clocks are the matching per-shard kernel clocks.
+	Clocks []func() time.Duration
+	// ShardOf maps a node to the shard that owns it.
+	ShardOf func(packet.NodeID) int
+	// Seed derives the plan's private RNG, as in Env.
+	Seed int64
+	// Base is exempt from Wildcard targeting and random crashes.
+	Base packet.NodeID
+}
+
+// ApplySharded schedules the plan onto a sharded run. Semantics match
+// Apply with two deliberate deviations, both deterministic for a fixed
+// (seed, shard count): whole-network events (crashes, reboots, random
+// kills) fire at the first window barrier at or after their nominal
+// time, and EEPROM write faults draw from per-node RNGs derived from
+// (seed, node) instead of one shared plan RNG, so the draw sequence
+// cannot depend on cross-shard write interleaving.
+func (p *Plan) ApplySharded(env ShardedEnv) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if env.At == nil || env.Network == nil || len(env.Mediums) == 0 ||
+		len(env.Clocks) != len(env.Mediums) || env.ShardOf == nil {
+		return fmt.Errorf("faults: sharded env needs scheduler, network, and per-shard mediums with clocks")
+	}
+	rng := rand.New(rand.NewSource(env.Seed<<16 ^ 0xFA17))
+
+	var rules []linkRule
+	for _, ev := range p.Events {
+		ev := ev
+		switch ev.Kind {
+		case KindCrash:
+			if int(ev.Node) >= len(env.Network.Nodes) {
+				return fmt.Errorf("faults: crash target %v does not exist", ev.Node)
+			}
+			env.At(ev.At, func() {
+				env.Network.Nodes[ev.Node].Kill()
+			})
+		case KindReboot:
+			if int(ev.Node) >= len(env.Network.Nodes) {
+				return fmt.Errorf("faults: reboot target %v does not exist", ev.Node)
+			}
+			env.At(ev.At, func() {
+				env.Network.Nodes[ev.Node].Crash()
+			})
+			env.At(ev.At+ev.Downtime, func() {
+				if err := env.Network.Restart(ev.Node); err != nil {
+					panic(fmt.Sprintf("faults: restart %v: %v", ev.Node, err))
+				}
+			})
+		case KindPartition:
+			inside := make(map[packet.NodeID]bool, len(ev.Group))
+			for _, id := range ev.Group {
+				inside[id] = true
+			}
+			rules = append(rules, linkRule{
+				from: ev.At, to: ev.Until,
+				match: func(src, dst packet.NodeID) float64 {
+					if inside[src] != inside[dst] {
+						return 1
+					}
+					return 0
+				},
+			})
+		case KindDegrade:
+			rules = append(rules, linkRule{
+				from: ev.At, to: ev.Until,
+				match: func(src, dst packet.NodeID) float64 {
+					if (src == ev.Src && dst == ev.Dst) ||
+						(ev.Bidirectional && src == ev.Dst && dst == ev.Src) {
+						return ev.Drop
+					}
+					return 0
+				},
+			})
+		case KindEEPROM:
+			if err := p.applyEEPROMSharded(env, ev); err != nil {
+				return err
+			}
+		case KindRandomCrashes:
+			p.applyRandomCrashesSharded(env, ev, rng)
+		}
+	}
+	if len(rules) > 0 {
+		// Every shard applies the same rule set against its own clock;
+		// shard clocks agree to within one window, and rule windows are
+		// orders of magnitude longer.
+		for i, m := range env.Mediums {
+			now := env.Clocks[i]
+			m.SetLinkFault(func(src, dst packet.NodeID) float64 {
+				t := now()
+				drop := 0.0
+				for _, r := range rules {
+					if t < r.from || (r.to > 0 && t >= r.to) {
+						continue
+					}
+					if d := r.match(src, dst); d > drop {
+						drop = d
+					}
+				}
+				return drop
+			})
+		}
+	}
+	return nil
+}
+
+func (p *Plan) applyEEPROMSharded(env ShardedEnv, ev Event) error {
+	var targets []packet.NodeID
+	if ev.Node == Wildcard {
+		for i := range env.Network.Nodes {
+			if id := packet.NodeID(i); id != env.Base {
+				targets = append(targets, id)
+			}
+		}
+	} else {
+		if int(ev.Node) >= len(env.Network.Nodes) {
+			return fmt.Errorf("faults: eeprom target %v does not exist", ev.Node)
+		}
+		targets = []packet.NodeID{ev.Node}
+	}
+	for _, id := range targets {
+		n := env.Network.Nodes[id]
+		now := env.Clocks[env.ShardOf(id)]
+		// A per-node RNG keyed on (seed, node) keeps the fault draw
+		// sequence independent of how writes interleave across shards.
+		rng := rand.New(rand.NewSource(env.Seed<<16 ^ 0xFA17 ^ int64(id)*0x9E3779B9))
+		ev := ev
+		n.EEPROM().SetWriteFault(func(seg, pkt int) error {
+			t := now()
+			if t < ev.At || (ev.Until > 0 && t >= ev.Until) {
+				return nil
+			}
+			if ev.Drop >= 1 || rng.Float64() < ev.Drop {
+				return fmt.Errorf("eeprom: injected write fault at slot (%d,%d)", seg, pkt)
+			}
+			return nil
+		})
+	}
+	return nil
+}
+
+func (p *Plan) applyRandomCrashesSharded(env ShardedEnv, ev Event, rng *rand.Rand) {
+	span := ev.Until - ev.At
+	for i := 0; i < ev.Count; i++ {
+		at := ev.At
+		if ev.Count > 1 {
+			at += span * time.Duration(i) / time.Duration(ev.Count-1)
+		}
+		env.At(at, func() {
+			var candidates []packet.NodeID
+			for i, n := range env.Network.Nodes {
+				if id := packet.NodeID(i); id != env.Base && !n.Dead() {
+					candidates = append(candidates, id)
+				}
+			}
+			if len(candidates) == 0 {
+				return
+			}
+			victim := candidates[rng.Intn(len(candidates))]
+			env.Network.Nodes[victim].Kill()
+		})
+	}
+}
+
 func (p *Plan) applyEEPROM(env Env, ev Event, rng *rand.Rand) error {
 	var targets []packet.NodeID
 	if ev.Node == Wildcard {

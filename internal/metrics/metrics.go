@@ -208,6 +208,79 @@ func (c *Collector) StorageOp(id packet.NodeID, write bool, seg, pkt, bytes int)
 	c.nodes[id].eepromReadBytes += bytes
 }
 
+// MergeShards combines per-shard collectors into one collector
+// equivalent to what a single collector would have recorded, the same
+// way RunSeeds merges per-seed results: by data, deterministically,
+// never by goroutine arrival order. Every per-node statistic is written
+// only by the shard owning that node (FrameSent keys on the source,
+// FrameReceived/FrameCollided on the destination, node observations on
+// the node itself), so per-node rows are taken verbatim from the owner
+// named by ownerOf; the per-minute traffic windows are summed; sender
+// events are merged by (At, Node); and concurrency violations are
+// summed (each shard checks its own senders — cross-shard concurrent
+// senders are a documented approximation of the sharded engine).
+func MergeShards(parts []*Collector, ownerOf []int) (*Collector, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("metrics: no collectors to merge")
+	}
+	n := len(parts[0].nodes)
+	if len(ownerOf) != n {
+		return nil, fmt.Errorf("metrics: owner map covers %d of %d nodes", len(ownerOf), n)
+	}
+	out := &Collector{
+		cfg:   parts[0].cfg,
+		nodes: make([]nodeStats, n),
+		now:   parts[0].now,
+	}
+	for i := 0; i < n; i++ {
+		o := ownerOf[i]
+		if o < 0 || o >= len(parts) {
+			return nil, fmt.Errorf("metrics: node %d owned by unknown shard %d", i, o)
+		}
+		out.nodes[i] = parts[o].nodes[i]
+	}
+	for _, p := range parts {
+		if len(p.nodes) != n {
+			return nil, fmt.Errorf("metrics: collector sizes differ (%d vs %d)", len(p.nodes), n)
+		}
+		for m := range p.windows {
+			for m >= len(out.windows) {
+				out.windows = append(out.windows, [numClasses]int{})
+			}
+			for c := 0; c < numClasses; c++ {
+				out.windows[m][c] += p.windows[m][c]
+			}
+		}
+		out.violations += p.violations
+	}
+	// Each shard's sender log is already time-ordered; a k-way merge by
+	// (At, Node) yields one global, deterministic order.
+	cursors := make([]int, len(parts))
+	for {
+		best := -1
+		for s, p := range parts {
+			if cursors[s] >= len(p.senders) {
+				continue
+			}
+			ev := p.senders[cursors[s]]
+			if best < 0 {
+				best = s
+				continue
+			}
+			b := parts[best].senders[cursors[best]]
+			if ev.At < b.At || (ev.At == b.At && ev.Node < b.Node) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out.senders = append(out.senders, parts[best].senders[cursors[best]])
+		cursors[best]++
+	}
+	return out, nil
+}
+
 // --- reports ---
 
 // ActiveRadioTime returns how long node id's radio was on during

@@ -36,13 +36,33 @@ type Factory func(id packet.NodeID) (Protocol, Config)
 
 // NewNetwork builds all nodes. Protocols are not started until Start.
 func NewNetwork(k *sim.Kernel, m *radio.Medium, layout *topology.Layout, f Factory, obs Observer) (*Network, error) {
+	place := func(packet.NodeID) (*sim.Kernel, *radio.Medium, Observer) { return k, m, obs }
+	nw, err := NewPartitionedNetwork(layout, f, place)
+	if err != nil {
+		return nil, err
+	}
+	nw.Kernel, nw.Medium = k, m
+	return nw, nil
+}
+
+// NewPartitionedNetwork builds all nodes, asking place for each node's
+// runtime — its kernel, its medium (possibly a shard of the channel),
+// and its observer. The sharded engine uses it to pin every node to the
+// shard that owns it; the Network value itself stays a global facade
+// (Restart, AllCompleted, CompletionTime span all shards), with Kernel
+// and Medium left nil because no single pair drives the whole run.
+func NewPartitionedNetwork(layout *topology.Layout, f Factory, place func(packet.NodeID) (*sim.Kernel, *radio.Medium, Observer)) (*Network, error) {
 	if f == nil {
 		return nil, fmt.Errorf("node: nil factory")
 	}
-	nw := &Network{Kernel: k, Medium: m, Layout: layout, factory: f}
+	if place == nil {
+		return nil, fmt.Errorf("node: nil placement")
+	}
+	nw := &Network{Layout: layout, factory: f}
 	for i := 0; i < layout.N(); i++ {
 		id := packet.NodeID(i)
 		proto, cfg := f(id)
+		k, m, obs := place(id)
 		n, err := New(id, k, m, proto, cfg, obs)
 		if err != nil {
 			return nil, fmt.Errorf("node %v: %w", id, err)

@@ -39,7 +39,7 @@ func TestCachedNeighborsMatchBruteForce(t *testing.T) {
 			t.Fatal(err)
 		}
 		for power, rangeFt := range params.TxRangeFeet {
-			tab, err := m.table(power)
+			tab, err := m.geo.table(power)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -78,7 +78,7 @@ func TestCachedNeighborsMatchBruteForce(t *testing.T) {
 				// And the cached BER row must match a fresh evaluation.
 				dist := layout.DistanceMatrix()
 				for i, nb := range want {
-					fresh := m.linkBER(packet.NodeID(id), nb, dist[id*layout.N()+int(nb)], rangeFt)
+					fresh := m.geo.linkBER(packet.NodeID(id), nb, dist[id*layout.N()+int(nb)], rangeFt)
 					if tab.ber[id][i] != fresh {
 						t.Fatalf("%s power %d link %d->%v: cached BER %g, fresh %g",
 							layout.Name(), power, id, nb, tab.ber[id][i], fresh)

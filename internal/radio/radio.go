@@ -19,6 +19,7 @@ package radio
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"mnp/internal/bitvec"
@@ -162,21 +163,139 @@ type powerTable struct {
 	ber     [][]float64
 }
 
-// Medium is the shared wireless channel. It is driven entirely by the
-// simulation kernel and is not safe for concurrent use.
-type Medium struct {
-	kernel *sim.Kernel
+// Geometry is the immutable part of a channel: node positions, the
+// distance matrix, the model parameters, and the per-power link tables.
+// It depends only on (layout, params, seed), never on event order, so
+// the sharded engine builds one Geometry and shares it read-only across
+// every shard's Medium instead of paying K times the O(N²) distance
+// matrix and table memory. Table construction is lazy and guarded by a
+// mutex; everything built is immutable afterwards.
+type Geometry struct {
 	layout *topology.Layout
 	params Params
 	seed   int64
+	n      int
+	dist   []float64 // row-major N×N, from the layout
+
+	mu     sync.RWMutex
+	tables map[int]*powerTable // lazily built per power level
+}
+
+// NewGeometry validates the channel model and precomputes the distance
+// matrix. seed drives the per-link asymmetry noise.
+func NewGeometry(layout *topology.Layout, p Params, seed int64) (*Geometry, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("radio: nil layout")
+	}
+	if p.BitRateBps <= 0 {
+		return nil, fmt.Errorf("radio: bit rate %d must be positive", p.BitRateBps)
+	}
+	if p.BERFloor < 0 || p.BERCeil <= p.BERFloor || p.BERCeil >= 1 {
+		return nil, fmt.Errorf("radio: BER bounds [%g, %g] invalid", p.BERFloor, p.BERCeil)
+	}
+	return &Geometry{
+		layout: layout,
+		params: p,
+		seed:   seed,
+		n:      layout.N(),
+		dist:   layout.DistanceMatrix(),
+		tables: make(map[int]*powerTable),
+	}, nil
+}
+
+// Airtime returns how long a frame of the given size occupies the
+// channel.
+func (g *Geometry) Airtime(bytes int) time.Duration {
+	bits := bytes * 8
+	return time.Duration(float64(bits) / float64(g.params.BitRateBps) * float64(time.Second))
+}
+
+// RangeFor returns the communication range for a power level.
+func (g *Geometry) RangeFor(power int) (float64, error) {
+	r, ok := g.params.TxRangeFeet[power]
+	if !ok {
+		return 0, fmt.Errorf("radio: no range configured for power level %d", power)
+	}
+	return r, nil
+}
+
+// table returns the precomputed geometry for a power level, building it
+// on first use. Construction is deterministic, so when (and on which
+// shard) a table is built has no observable effect.
+func (g *Geometry) table(power int) (*powerTable, error) {
+	g.mu.RLock()
+	t, ok := g.tables[power]
+	g.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t, ok := g.tables[power]; ok {
+		return t, nil
+	}
+	rng, err := g.RangeFor(power)
+	if err != nil {
+		return nil, err
+	}
+	t = &powerTable{
+		rangeFt: rng,
+		neigh:   make([][]packet.NodeID, g.n),
+		sets:    make([]*bitvec.Set, g.n),
+		ber:     make([][]float64, g.n),
+	}
+	for src := 0; src < g.n; src++ {
+		row := g.dist[src*g.n : (src+1)*g.n]
+		set := bitvec.NewSet(g.n)
+		var ids []packet.NodeID
+		var bers []float64
+		for dst := 0; dst < g.n; dst++ {
+			if dst == src || row[dst] > rng {
+				continue
+			}
+			ids = append(ids, packet.NodeID(dst))
+			bers = append(bers, g.linkBER(packet.NodeID(src), packet.NodeID(dst), row[dst], rng))
+			set.Add(dst)
+		}
+		t.neigh[src], t.sets[src], t.ber[src] = ids, set, bers
+	}
+	g.tables[power] = t
+	return t, nil
+}
+
+// shardTable is one shard's view of a power level: per-source receiver
+// sublists restricted to the nodes the shard owns (delivery never
+// crosses a shard boundary directly), plus a per-owned-source flag
+// marking transmissions that reach nodes owned elsewhere and so must be
+// exported as ghosts at the next window barrier.
+type shardTable struct {
+	neigh    [][]packet.NodeID // audible receivers owned by this shard
+	ber      [][]float64
+	boundary []bool // per src: some audible node is owned elsewhere
+}
+
+// Medium is the shared wireless channel. It is driven entirely by the
+// simulation kernel and is not safe for concurrent use. In a sharded
+// run each shard has its own Medium over a shared Geometry; a Medium
+// then owns a subset of the nodes and exchanges boundary-crossing
+// frames with its peers as Ghost records.
+type Medium struct {
+	kernel *sim.Kernel
+	geo    *Geometry
 	nodes  []nodeState
 	active []*transmission
 	sink   TrafficSink
 
 	n      int
-	dist   []float64           // row-major N×N, from the layout
-	tables map[int]*powerTable // lazily built per power level
 	freeTx []*transmission
+
+	// owned flags the nodes this Medium simulates; nil (the sequential
+	// case) means all of them. Handlers, radio state, and deliveries
+	// exist only for owned nodes.
+	owned     []bool
+	shardTabs map[int]*shardTable // lazily built per power level
+	outbox    []Ghost
+	ghostSeq  uint64
 
 	// tap, when set, observes every transmitted frame in decoded form
 	// (invariant checkers need packet contents, which TrafficSink
@@ -187,6 +306,23 @@ type Medium struct {
 	// Fault injection installs it; nil (the default) costs nothing and
 	// draws no randomness, keeping fault-free runs byte-identical.
 	linkFault func(src, dst packet.NodeID) float64
+}
+
+// Ghost is a boundary-crossing transmission exported by one shard and
+// replayed into the others at a window barrier: enough to reproduce the
+// frame's exact occupancy of the channel ([Start, End)), its collision
+// footprint, and its delivery, without the transmitter itself.
+type Ghost struct {
+	Src   packet.NodeID
+	Kind  packet.Kind
+	Power int
+	Start time.Duration
+	End   time.Duration
+	// Seq is the transmit order within the source shard; the engine
+	// merges outboxes by (Start, Src, Seq) so the exchange is a pure
+	// function of simulation state, never of goroutine arrival order.
+	Seq   uint64
+	Frame []byte
 }
 
 // Tap observes a successfully started transmission: the decoded packet
@@ -207,62 +343,72 @@ func (m *Medium) SetLinkFault(f func(src, dst packet.NodeID) float64) { m.linkFa
 // asymmetry noise (independent of the kernel's RNG so that link quality
 // is a stable property of the deployment).
 func NewMedium(k *sim.Kernel, layout *topology.Layout, p Params, seed int64) (*Medium, error) {
-	if k == nil || layout == nil {
-		return nil, fmt.Errorf("radio: nil kernel or layout")
-	}
-	if p.BitRateBps <= 0 {
-		return nil, fmt.Errorf("radio: bit rate %d must be positive", p.BitRateBps)
-	}
-	if p.BERFloor < 0 || p.BERCeil <= p.BERFloor || p.BERCeil >= 1 {
-		return nil, fmt.Errorf("radio: BER bounds [%g, %g] invalid", p.BERFloor, p.BERCeil)
-	}
-	return &Medium{
-		kernel: k,
-		layout: layout,
-		params: p,
-		seed:   seed,
-		nodes:  make([]nodeState, layout.N()),
-		sink:   NopSink{},
-		n:      layout.N(),
-		dist:   layout.DistanceMatrix(),
-		tables: make(map[int]*powerTable),
-	}, nil
-}
-
-// table returns the precomputed geometry for a power level, building it
-// on first use. Construction is deterministic, so when a table is built
-// has no observable effect.
-func (m *Medium) table(power int) (*powerTable, error) {
-	if t, ok := m.tables[power]; ok {
-		return t, nil
-	}
-	rng, err := m.RangeFor(power)
+	geo, err := NewGeometry(layout, p, seed)
 	if err != nil {
 		return nil, err
 	}
-	t := &powerTable{
-		rangeFt: rng,
-		neigh:   make([][]packet.NodeID, m.n),
-		sets:    make([]*bitvec.Set, m.n),
-		ber:     make([][]float64, m.n),
+	return NewShardMedium(k, geo, nil)
+}
+
+// NewShardMedium builds one shard's channel over a shared Geometry.
+// owned lists the node IDs this shard simulates; nil means all of them
+// (exactly NewMedium). Frames transmitted by owned nodes that reach
+// nodes owned elsewhere accumulate in the outbox for the engine to
+// exchange at window barriers.
+func NewShardMedium(k *sim.Kernel, geo *Geometry, owned []packet.NodeID) (*Medium, error) {
+	if k == nil || geo == nil {
+		return nil, fmt.Errorf("radio: nil kernel or geometry")
+	}
+	m := &Medium{
+		kernel: k,
+		geo:    geo,
+		nodes:  make([]nodeState, geo.n),
+		sink:   NopSink{},
+		n:      geo.n,
+	}
+	if owned != nil {
+		m.owned = make([]bool, geo.n)
+		for _, id := range owned {
+			if int(id) >= geo.n {
+				return nil, fmt.Errorf("radio: owned node %v outside the %d-node layout", id, geo.n)
+			}
+			m.owned[id] = true
+		}
+		m.shardTabs = make(map[int]*shardTable)
+	}
+	return m, nil
+}
+
+// Geometry returns the shared immutable channel geometry.
+func (m *Medium) Geometry() *Geometry { return m.geo }
+
+// shardTable returns this shard's view of a power level, building it on
+// first use from the shared full table.
+func (m *Medium) shardTable(power int, tab *powerTable) *shardTable {
+	if st, ok := m.shardTabs[power]; ok {
+		return st
+	}
+	st := &shardTable{
+		neigh:    make([][]packet.NodeID, m.n),
+		ber:      make([][]float64, m.n),
+		boundary: make([]bool, m.n),
 	}
 	for src := 0; src < m.n; src++ {
-		row := m.dist[src*m.n : (src+1)*m.n]
-		set := bitvec.NewSet(m.n)
+		full := tab.neigh[src]
 		var ids []packet.NodeID
 		var bers []float64
-		for dst := 0; dst < m.n; dst++ {
-			if dst == src || row[dst] > rng {
-				continue
+		for i, dst := range full {
+			if m.owned[dst] {
+				ids = append(ids, dst)
+				bers = append(bers, tab.ber[src][i])
+			} else {
+				st.boundary[src] = true
 			}
-			ids = append(ids, packet.NodeID(dst))
-			bers = append(bers, m.linkBER(packet.NodeID(src), packet.NodeID(dst), row[dst], rng))
-			set.Add(dst)
 		}
-		t.neigh[src], t.sets[src], t.ber[src] = ids, set, bers
+		st.neigh[src], st.ber[src] = ids, bers
 	}
-	m.tables[power] = t
-	return t, nil
+	m.shardTabs[power] = st
+	return st
 }
 
 // SetSink installs the traffic observer.
@@ -312,18 +458,15 @@ func (m *Medium) Destroyed(id packet.NodeID) bool { return m.nodes[id].destroyed
 
 // Airtime returns how long a frame of the given size occupies the
 // channel.
-func (m *Medium) Airtime(bytes int) time.Duration {
-	bits := bytes * 8
-	return time.Duration(float64(bits) / float64(m.params.BitRateBps) * float64(time.Second))
-}
+func (m *Medium) Airtime(bytes int) time.Duration { return m.geo.Airtime(bytes) }
 
 // RangeFor returns the communication range for a power level.
-func (m *Medium) RangeFor(power int) (float64, error) {
-	r, ok := m.params.TxRangeFeet[power]
-	if !ok {
-		return 0, fmt.Errorf("radio: no range configured for power level %d", power)
-	}
-	return r, nil
+func (m *Medium) RangeFor(power int) (float64, error) { return m.geo.RangeFor(power) }
+
+// Owns reports whether this Medium simulates node id. A sequential
+// medium owns every node.
+func (m *Medium) Owns(id packet.NodeID) bool {
+	return int(id) < m.n && (m.owned == nil || m.owned[id])
 }
 
 // Busy reports whether node id's carrier sense detects an ongoing
@@ -354,7 +497,7 @@ func (m *Medium) Transmitting(id packet.NodeID) bool {
 // Neighbors returns the nodes within the transmission range of id at
 // the given power level. The returned slice is the caller's to keep.
 func (m *Medium) Neighbors(id packet.NodeID, power int) ([]packet.NodeID, error) {
-	tab, err := m.table(power)
+	tab, err := m.geo.table(power)
 	if err != nil {
 		return nil, err
 	}
@@ -403,9 +546,13 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 	if st.everTx && st.txEnd > now {
 		return 0, fmt.Errorf("radio: node %v already transmitting", src)
 	}
-	tab, err := m.table(power)
+	tab, err := m.geo.table(power)
 	if err != nil {
 		return 0, err
+	}
+	var stab *shardTable
+	if m.owned != nil {
+		stab = m.shardTable(power, tab)
 	}
 	t := m.newTransmission()
 	t.frame = packet.AppendEncode(t.frame[:0], pkt)
@@ -415,9 +562,18 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 	t.bytes = len(t.frame)
 	t.start = now
 	t.end = now + air
-	t.audible = tab.neigh[src]
+	if stab != nil {
+		// Deliveries stay within the shard; nodes owned elsewhere hear
+		// this frame as a ghost after the next window barrier. The full-
+		// width audSet is kept so collision footprints (and Busy) are
+		// computed over the whole neighborhood either way.
+		t.audible = stab.neigh[src]
+		t.ber = stab.ber[src]
+	} else {
+		t.audible = tab.neigh[src]
+		t.ber = tab.ber[src]
+	}
 	t.audSet = tab.sets[src]
-	t.ber = tab.ber[src]
 	// Overlapping audible frames corrupt each other at the common
 	// receivers (this includes the hidden-terminal case), unless the
 	// capture effect lets the markedly stronger frame survive.
@@ -425,7 +581,7 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 		if u.end <= now {
 			continue
 		}
-		if m.params.CaptureRatio > 0 {
+		if m.geo.params.CaptureRatio > 0 {
 			m.resolveWithCapture(t, u)
 		} else {
 			// Without capture every common receiver loses both frames:
@@ -452,8 +608,88 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 	if m.tap != nil {
 		m.tap(src, pkt, air)
 	}
+	if stab != nil && stab.boundary[src] {
+		m.outbox = append(m.outbox, Ghost{
+			Src:   src,
+			Kind:  t.kind,
+			Power: power,
+			Start: now,
+			End:   t.end,
+			Seq:   m.ghostSeq,
+			Frame: append([]byte(nil), t.frame...),
+		})
+		m.ghostSeq++
+	}
 	m.kernel.MustSchedule(air, t.finishFn)
 	return air, nil
+}
+
+// TakeOutbox drains and returns the boundary frames transmitted since
+// the last call, in transmit order. The engine calls it at each window
+// barrier.
+func (m *Medium) TakeOutbox() []Ghost {
+	out := m.outbox
+	m.outbox = nil
+	return out
+}
+
+// InsertGhost replays a boundary frame from another shard into this
+// shard's channel: it occupies the air over [Start, End) for carrier
+// sensing, corrupts and is corrupted by overlapping frames exactly as a
+// local transmission would, and delivers to this shard's audible nodes
+// at its end-of-frame instant. The transmitter-side effects (FrameSent,
+// the tap, the half-duplex bookkeeping) already happened on the owning
+// shard and are not repeated. The conservative window bound guarantees
+// End is not in the past at insertion time.
+func (m *Medium) InsertGhost(g Ghost) error {
+	if m.owned == nil {
+		return fmt.Errorf("radio: ghost insertion on an unsharded medium")
+	}
+	if int(g.Src) >= m.n || m.owned[g.Src] {
+		return fmt.Errorf("radio: ghost source %v is owned by this shard", g.Src)
+	}
+	tab, err := m.geo.table(g.Power)
+	if err != nil {
+		return err
+	}
+	stab := m.shardTable(g.Power, tab)
+	if len(stab.neigh[g.Src]) == 0 {
+		return nil // inaudible here: no receiver and no carrier to sense
+	}
+	t := m.newTransmission()
+	t.frame = append(t.frame[:0], g.Frame...)
+	t.src = g.Src
+	t.kind = g.Kind
+	t.bytes = len(t.frame)
+	t.start = g.Start
+	t.end = g.End
+	t.audible = stab.neigh[g.Src]
+	t.ber = stab.ber[g.Src]
+	t.audSet = tab.sets[g.Src]
+	// Unlike Transmit (whose frames always start "now"), a ghost starts
+	// in the previous window, so overlap is a general interval test.
+	for _, u := range m.active {
+		if u.end <= t.start || u.start >= t.end {
+			continue
+		}
+		if m.geo.params.CaptureRatio > 0 {
+			m.resolveWithCapture(t, u)
+		} else {
+			t.corrupted.OrIntersection(t.audSet, u.audSet)
+			u.corrupted.OrIntersection(t.audSet, u.audSet)
+		}
+		if u.isAudible(t.src) {
+			u.corrupted.Add(int(t.src))
+		}
+		if t.isAudible(u.src) {
+			t.corrupted.Add(int(u.src))
+		}
+	}
+	m.active = append(m.active, t)
+	if _, err := m.kernel.ScheduleAt(t.end, t.finishFn); err != nil {
+		return fmt.Errorf("radio: ghost from %v: %w", g.Src, err)
+	}
+	return nil
 }
 
 // resolveWithCapture applies the per-receiver capture rule between a
@@ -463,13 +699,13 @@ func (m *Medium) resolveWithCapture(t, u *transmission) {
 		if !u.isAudible(r) {
 			continue
 		}
-		dt := m.dist[int(r)*m.n+int(t.src)]
-		du := m.dist[int(r)*m.n+int(u.src)]
-		if dt <= m.params.CaptureRatio*du {
+		dt := m.geo.dist[int(r)*m.n+int(t.src)]
+		du := m.geo.dist[int(r)*m.n+int(u.src)]
+		if dt <= m.geo.params.CaptureRatio*du {
 			u.corrupted.Add(int(r)) // t captures the receiver
 			continue
 		}
-		if du <= m.params.CaptureRatio*dt {
+		if du <= m.geo.params.CaptureRatio*dt {
 			t.corrupted.Add(int(r)) // u holds the receiver
 			continue
 		}
@@ -538,14 +774,14 @@ func (m *Medium) finish(t *transmission) {
 // range, times a stable per-directed-link lognormal factor. It depends
 // only on immutable run state, so the power tables evaluate it once per
 // directed link.
-func (m *Medium) linkBER(src, dst packet.NodeID, dist, txRange float64) float64 {
+func (g *Geometry) linkBER(src, dst packet.NodeID, dist, txRange float64) float64 {
 	frac := dist / txRange
 	if frac > 1 {
 		return 1
 	}
-	base := m.params.BERFloor * math.Exp(math.Log(m.params.BERCeil/m.params.BERFloor)*frac*frac)
-	if m.params.AsymSigma > 0 {
-		base *= linkNoise(m.seed, src, dst, m.params.AsymSigma)
+	base := g.params.BERFloor * math.Exp(math.Log(g.params.BERCeil/g.params.BERFloor)*frac*frac)
+	if g.params.AsymSigma > 0 {
+		base *= linkNoise(g.seed, src, dst, g.params.AsymSigma)
 	}
 	if base > 1 {
 		base = 1

@@ -32,10 +32,34 @@ const initialQueueCap = 1024
 // the same seed and the same schedule of callbacks produce identical
 // runs.
 func New(seed int64) *Kernel {
-	return &Kernel{
-		queue: make(eventHeap, 0, initialQueueCap),
+	return NewSized(seed, 0)
+}
+
+// NewSized returns a kernel whose event heap and free list are
+// pre-sized for roughly hint simultaneous events, so large deployments
+// (which keep a few timers and an in-flight frame per node) never grow
+// either mid-run. A hint at or below the default capacity behaves
+// exactly like New; capacity never changes scheduling order.
+func NewSized(seed int64, hint int) *Kernel {
+	c := initialQueueCap
+	if hint > c {
+		c = hint
+	}
+	k := &Kernel{
+		queue: make(eventHeap, 0, c),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
+	if hint > 0 {
+		// Carve the free list out of one contiguous block: scheduling
+		// stays allocation-free from the first event and neighboring
+		// events share cache lines.
+		block := make([]event, c)
+		k.free = make([]*event, 0, c)
+		for i := range block {
+			k.free = append(k.free, &block[i])
+		}
+	}
+	return k
 }
 
 // Now returns the current virtual time (elapsed since simulation
@@ -90,6 +114,17 @@ func (k *Kernel) MustSchedule(delay time.Duration, fn func()) Timer {
 		panic(err)
 	}
 	return t
+}
+
+// ScheduleAt runs fn at the absolute virtual time when, which must not
+// precede the current clock. The sharded engine uses it to land
+// cross-shard frame deliveries at their exact end-of-frame instants,
+// which were computed on another shard's clock.
+func (k *Kernel) ScheduleAt(when time.Duration, fn func()) (Timer, error) {
+	if when < k.now {
+		return Timer{}, fmt.Errorf("sim: schedule at %v before now %v", when, k.now)
+	}
+	return k.at(when, fn), nil
 }
 
 func (k *Kernel) at(when time.Duration, fn func()) Timer {
@@ -156,6 +191,47 @@ func (k *Kernel) Run(limit time.Duration) int {
 		n++
 	}
 	return n
+}
+
+// RunBefore executes every event strictly earlier than limit and
+// returns the number executed. Events scheduled at or after limit stay
+// queued and the clock is left at the last executed event. This is the
+// window-bounded run the sharded engine advances each shard by: with
+// limit = the next barrier, everything the shard can safely do without
+// seeing other shards' frames runs, and nothing else.
+func (k *Kernel) RunBefore(limit time.Duration) int {
+	k.stopped = false
+	n := 0
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next >= limit {
+			break
+		}
+		if !k.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// NextEventAt returns the time of the earliest pending event, without
+// running it. The second result is false when the queue is empty.
+func (k *Kernel) NextEventAt() (time.Duration, bool) { return k.peek() }
+
+// AdvanceTo moves the clock forward to t without running anything. It
+// panics if an event earlier than t is still pending — callers (the
+// sharded engine, advancing every shard to a window barrier after
+// RunBefore drained it) must have run those first. A t in the past is a
+// no-op.
+func (k *Kernel) AdvanceTo(t time.Duration) {
+	if t <= k.now {
+		return
+	}
+	if next, ok := k.peek(); ok && next < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip an event at %v", t, next))
+	}
+	k.now = t
 }
 
 // RunUntil executes events until pred returns true, the clock passes

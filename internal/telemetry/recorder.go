@@ -31,6 +31,16 @@ func NewRecorder(s *Stream, now func() time.Duration) (*Recorder, error) {
 // Stream returns the underlying stream (for Close and error checks).
 func (r *Recorder) Stream() *Stream { return r.s }
 
+// SetClock replaces the recorder's timestamp source. The sharded engine
+// replays buffered observations at window barriers and substitutes a
+// clock that reads each event's original time, so records carry
+// simulation instants rather than replay instants.
+func (r *Recorder) SetClock(now func() time.Duration) {
+	if now != nil {
+		r.now = now
+	}
+}
+
 // Meta emits the run-identity record. Call it once, first.
 func (r *Recorder) Meta(name string, seed int64, nodes, packets int, protocol string) {
 	r.s.Emit(Record{
