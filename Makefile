@@ -44,13 +44,16 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzMNPPacketSequence' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz 'FuzzRuntimeOps' -fuzztime $(FUZZTIME) ./internal/node/nodetest/
 	$(GO) test -run '^$$' -fuzz 'FuzzRecordRoundTrip' -fuzztime $(FUZZTIME) ./internal/telemetry/
+	$(GO) test -run '^$$' -fuzz 'FuzzScenarioParse' -fuzztime $(FUZZTIME) ./internal/scenario/
 
 # bench runs the simulation-substrate micro-benchmarks plus the
 # end-to-end Figure 8 regeneration and the sharded-engine scaling
-# series, and writes the numbers (ns/op, B/op, allocs/op) as JSON to
-# $(BENCH_OUT). The micro-benchmarks get a large fixed iteration count
-# so the lazily built radio tables amortize out; the Fig8 and engine
-# runs are seconds per iteration, so a couple suffice.
+# series, and appends the numbers (ns/op, B/op, allocs/op) as a
+# history entry — keyed by git SHA and date — to $(BENCH_OUT), so the
+# committed file accumulates a timeline across revisions. The
+# micro-benchmarks get a large fixed iteration count so the lazily
+# built radio tables amortize out; the Fig8 and engine runs are
+# seconds per iteration, so a couple suffice.
 bench: build
 	@rm -f bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkMediumTransmit|BenchmarkKernelSchedule' \
@@ -59,8 +62,8 @@ bench: build
 		-benchmem -benchtime 2x . | tee -a bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineGrid' \
 		-benchmem -benchtime 2x -timeout 30m . | tee -a bench.out
-	$(GO) run ./tools/benchjson < bench.out > $(BENCH_OUT)
-	@echo "wrote $(BENCH_OUT)"
+	$(GO) run ./tools/benchjson -out $(BENCH_OUT) < bench.out
+	@echo "appended to $(BENCH_OUT)"
 
 clean:
 	rm -f bench.out $(BENCH_OUT)

@@ -10,6 +10,14 @@
 //	mnpexp -faults 'reboot:7@30s+10s; eeprom:*:0.01'
 //	mnpexp -faults 'randkill:6@20s-145s' -rows 8 -cols 8 -seed 22
 //
+// Scenario files (see internal/scenario) replace hand-wired flags
+// with a checked-in document; with several seeds in the file (or
+// -seeds) the run fans out on a worker pool and prints the campaign
+// comparison table:
+//
+//	mnpexp -scenario deploy.toml
+//	mnpexp -scenario deploy.toml -seeds 1,2,3 -workers 4
+//
 // Telemetry and profiling hooks (all default off):
 //
 //	mnpexp -telemetry out/ -rows 3 -cols 5   # NDJSON event stream + counters
@@ -32,9 +40,11 @@ import (
 	"time"
 
 	"mnp"
+	"mnp/internal/campaign"
 	"mnp/internal/experiment"
 	"mnp/internal/faults"
 	"mnp/internal/invariant"
+	"mnp/internal/scenario"
 	"mnp/internal/telemetry"
 )
 
@@ -55,6 +65,7 @@ func run(args []string) error {
 		parallel = fs.Bool("parallel", false, "run the selected experiments concurrently")
 		csvDir   = fs.String("csv", "", "write the series figures' raw data as CSV files into this directory and exit")
 		faultStr = fs.String("faults", "", "run a chaos deployment under this fault spec (e.g. 'crash:5@20s; eeprom:*:0.01'); see internal/faults")
+		scenPath = fs.String("scenario", "", "run the deployment a scenario file describes (TOML/JSON; see internal/scenario)")
 		rows     = fs.Int("rows", 8, "deployment grid rows (-faults / -telemetry runs)")
 		cols     = fs.Int("cols", 8, "deployment grid cols (-faults / -telemetry runs)")
 		packets  = fs.Int("packets", 128, "deployment image size in packets (-faults / -telemetry runs)")
@@ -79,6 +90,15 @@ func run(args []string) error {
 	// Predefined specs fix everything but the seed; the shard count
 	// reaches them through the package default.
 	experiment.SetDefaultShards(*shards)
+	if *scenPath != "" {
+		if len(fs.Args()) > 0 {
+			return fmt.Errorf("-scenario runs its own deployment; drop the experiment IDs %v", fs.Args())
+		}
+		if *faultStr != "" || *telemetryDir != "" {
+			return fmt.Errorf("-scenario carries faults and telemetry in the file; drop -faults/-telemetry")
+		}
+		return runScenario(*scenPath, *seeds, *workers, *progress)
+	}
 	if *faultStr != "" || *telemetryDir != "" {
 		if len(fs.Args()) > 0 {
 			return fmt.Errorf("-faults/-telemetry run their own deployment; drop the experiment IDs %v", fs.Args())
@@ -202,9 +222,71 @@ func runDeploy(spec string, rows, cols, packets int, seed int64, telemetryDir st
 		Faults:     plan,
 		Invariants: &invariant.Config{},
 	}
+	return execDeploy(setup, telemetryDir, progress)
+}
+
+// runScenario executes the deployment a scenario file describes. One
+// seed runs through the full deploy path (telemetry per the file's
+// [telemetry] table, images and invariants verified); several seeds —
+// from the file's seed list or -seeds — fan out as a degenerate
+// campaign and print the comparison table.
+func runScenario(path, seedsFlag string, workers int, progress bool) error {
+	sc, err := scenario.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	seedList := sc.SeedList()
+	if seedsFlag != "" {
+		if seedList, err = parseSeeds(seedsFlag); err != nil {
+			return err
+		}
+	}
+	if len(seedList) > 1 {
+		plan, err := campaign.PlanForScenario(*sc, seedList, workers)
+		if err != nil {
+			return err
+		}
+		out, err := (&campaign.Runner{Plan: plan, Logf: func(format string, args ...any) {
+			if progress {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}}).Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out.Report)
+		for _, res := range out.Results {
+			if res.Err != "" {
+				return fmt.Errorf("seed %d: %s", res.Seed, res.Err)
+			}
+		}
+		return nil
+	}
+	sc.Run.Seed = seedList[0]
+	sc.Run.Seeds = nil
+	setup, err := sc.Compile()
+	if err != nil {
+		return err
+	}
+	telemetryDir := ""
+	if sc.Telemetry != nil {
+		telemetryDir = sc.Telemetry.Dir
+		progress = progress || sc.Telemetry.Progress
+	}
+	return execDeploy(setup, telemetryDir, progress)
+}
+
+// execDeploy wires progress and telemetry around a setup, runs it, and
+// verifies the outcome — the shared tail of -faults/-telemetry and
+// -scenario runs.
+func execDeploy(setup experiment.Setup, telemetryDir string, progress bool) error {
 	var prog *telemetry.Progress
 	if progress {
-		prog = telemetry.NewProgress(os.Stderr, "deploy", rows*cols, time.Second)
+		n := setup.Rows * setup.Cols
+		if setup.Layout != nil {
+			n = setup.Layout.N()
+		}
+		prog = telemetry.NewProgress(os.Stderr, setup.Name, n, time.Second)
 		setup.Observer = prog
 	}
 	var stream *telemetry.Stream

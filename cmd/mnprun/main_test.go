@@ -1,0 +1,166 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testPlan is the acceptance-bar campaign: 2 protocols x 2 seeds x 2
+// topologies = 8 cells.
+const testPlan = `
+version = 1
+name = "e2e"
+protocols = ["mnp", "deluge"]
+seeds = [42, 7]
+workers = 4
+
+[[topologies]]
+kind = "grid"
+rows = 3
+cols = 3
+
+[[topologies]]
+kind = "line"
+n = 4
+
+[scenario]
+[scenario.run]
+image_packets = 16
+limit = "4h"
+`
+
+const testScenario = `
+version = 1
+name = "smoke"
+[topology]
+kind = "grid"
+rows = 3
+cols = 3
+[run]
+seed = 42
+image_packets = 16
+limit = "4h"
+[invariants]
+enabled = true
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScenarioMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation in -short mode")
+	}
+	path := writeFile(t, "scenario.toml", testScenario)
+	if err := run([]string{"-quiet", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Campaign flags on a single scenario are a usage error.
+	if err := run([]string{path, "-out", t.TempDir()}); err == nil {
+		t.Fatal("scenario accepted -out")
+	}
+}
+
+// TestCampaignDeterministicAndResumable is the CLI acceptance test:
+// the full matrix runs via mnprun, the report is byte-identical across
+// independent runs at equal worker counts, and a campaign stopped
+// mid-flight resumes from its checkpoint without re-running finished
+// cells.
+func TestCampaignDeterministicAndResumable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-cell campaign in -short mode")
+	}
+	plan := writeFile(t, "plan.toml", testPlan)
+
+	// Two independent full runs must produce identical report bytes.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for _, dir := range []string{dirA, dirB} {
+		if err := run([]string{"-quiet", plan, "-out", dir}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reportA, err := os.ReadFile(filepath.Join(dirA, "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportB, err := os.ReadFile(filepath.Join(dirB, "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reportA) != string(reportB) {
+		t.Errorf("independent runs disagree:\n--- A\n%s\n--- B\n%s", reportA, reportB)
+	}
+	if !strings.Contains(string(reportA), "8 cells") {
+		t.Errorf("report does not cover the 8-cell matrix:\n%s", reportA)
+	}
+
+	// Interrupt after 3 cells, then resume in the same directory.
+	dirC := t.TempDir()
+	if err := run([]string{"-quiet", plan, "-out", dirC, "-max-cells", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dirC, "report.txt")); !os.IsNotExist(err) {
+		t.Fatal("interrupted campaign wrote a report")
+	}
+	partial, err := os.ReadFile(filepath.Join(dirC, "cells.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := nonEmptyLines(string(partial)); len(lines) != 4 { // header + 3 cells
+		t.Fatalf("partial checkpoint has %d lines, want 4:\n%s", len(lines), partial)
+	}
+
+	if err := run([]string{"-quiet", plan, "-out", dirC}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dirC, "cells.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume appends: the partial prefix is untouched (its cells were
+	// not re-run), and exactly the 5 remaining cells follow.
+	if !strings.HasPrefix(string(full), string(partial)) {
+		t.Error("resume rewrote already-checkpointed cells")
+	}
+	if lines := nonEmptyLines(string(full)); len(lines) != 9 { // header + 8 cells
+		t.Fatalf("resumed checkpoint has %d lines, want 9", len(lines))
+	}
+	reportC, err := os.ReadFile(filepath.Join(dirC, "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reportC) != string(reportA) {
+		t.Errorf("resumed report differs from uninterrupted run:\n--- resumed\n%s\n--- reference\n%s", reportC, reportA)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no-args run succeeded")
+	}
+	if err := run([]string{"/nonexistent/plan.toml"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeFile(t, "bad.toml", "version = 1\nprotocols = [\"warp\"]\n[scenario.topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n")
+	if err := run([]string{bad}); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Errorf("bad plan error = %v", err)
+	}
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

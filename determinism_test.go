@@ -11,6 +11,7 @@ import (
 	"mnp/internal/experiment"
 	"mnp/internal/faults"
 	"mnp/internal/invariant"
+	"mnp/internal/scenario"
 )
 
 // Golden SHA-256 digests of the Figure 8 report, captured from the seed
@@ -122,6 +123,56 @@ func TestChaosRunMatchesGolden(t *testing.T) {
 	}
 	if got := hex.EncodeToString(sumOf(b.String())); got != goldenChaos {
 		t.Errorf("chaos run report hash = %s, want %s (fault injection is no longer deterministic)\n%s",
+			got, goldenChaos, b.String())
+	}
+}
+
+// TestScenarioCompiledChaosMatchesGolden runs the chaos-golden
+// deployment compiled from a declarative scenario document instead of
+// a hand-written Setup. The resulting simulation must be byte-for-byte
+// the run pinned by goldenChaos: the scenario layer is configuration
+// plumbing and may not perturb a single RNG draw.
+func TestScenarioCompiledChaosMatchesGolden(t *testing.T) {
+	doc := `
+version = 1
+name = "chaos-golden"
+faults = "reboot:15@30s+10s; eeprom:*:0.02"
+[topology]
+kind = "grid"
+rows = 4
+cols = 4
+[run]
+seed = 42
+image_packets = 128
+limit = "6h"
+shards = 1
+[invariants]
+enabled = true
+`
+	sc, err := scenario.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiment.Run(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "completed=%v at=%v\n", res.Completed, res.CompletionTime)
+	for _, n := range res.Network.Nodes {
+		fmt.Fprintf(&b, "%v dead=%v completed=%v at=%v slots=%d faults=%d\n",
+			n.ID(), n.Dead(), n.Completed(), n.CompletedAt(),
+			n.EEPROM().Slots(), n.EEPROM().FaultCount())
+	}
+	if got := hex.EncodeToString(sumOf(b.String())); got != goldenChaos {
+		t.Errorf("scenario-compiled chaos run hash = %s, want %s (scenario compilation perturbs the simulation)\n%s",
 			got, goldenChaos, b.String())
 	}
 }

@@ -2,68 +2,46 @@
 // single-hop XNP — on the same multihop deployment and the same
 // program image, and print a side-by-side table.
 //
+// The matrix lives in comparison.toml, a checked-in campaign plan;
+// this program just executes it. The same table reproduces from the
+// artifact alone with:
+//
+//	go run ./cmd/mnprun examples/comparison/comparison.toml
+//
 // The shapes to look for (paper section 5): Deluge and MOAP keep their
-// radios on, so their idle listening time equals the completion time;
-// MNP trades somewhat longer completion for far less active radio
-// time; XNP, being single-hop, never covers the whole network at all.
+// radios on, so their radio-on time tracks the completion time; MNP
+// trades somewhat longer completion for far less active radio time;
+// XNP, being single-hop, never covers the whole network at all.
 //
 //	go run ./examples/comparison
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
-	"time"
 
-	"mnp"
-	"mnp/internal/packet"
+	"mnp/internal/campaign"
 )
 
-func main() {
-	const (
-		rows, cols = 6, 6
-		packets    = 256 // 2 segments, 5.6 KB
-	)
-	fmt.Printf("deployment: %dx%d grid, program %d packets (%.1f KB)\n\n",
-		rows, cols, packets, float64(packets*22)/1024)
-	fmt.Println("protocol  coverage  completion    mean ART   msgs sent")
+//go:embed comparison.toml
+var planDoc []byte
 
-	for _, proto := range []mnp.ProtocolKind{
-		mnp.ProtocolMNP, mnp.ProtocolDeluge, mnp.ProtocolMOAP, mnp.ProtocolXNP,
-	} {
-		res, err := mnp.Simulate(mnp.Setup{
-			Name:         fmt.Sprintf("compare-%v", proto),
-			Rows:         rows,
-			Cols:         cols,
-			ImagePackets: packets,
-			Protocol:     proto,
-			Power:        mnp.PowerSim,
-			Seed:         7,
-			Limit:        8 * time.Hour,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		ct := res.CompletionTime
-		if !res.Completed {
-			// XNP lands here: only single-hop neighbors are served.
-			ct = res.Setup.Limit
-		}
-		totalTx := 0
-		for i := 0; i < res.Layout.N(); i++ {
-			totalTx += res.Collector.TxCount(packet.NodeID(i))
-		}
-		completion := "(never)"
-		if res.Completed {
-			completion = res.CompletionTime.Round(time.Second).String()
-		}
-		fmt.Printf("%-9v %4d/%-4d %10s %11s %11d\n",
-			proto,
-			res.Network.CompletedCount(), res.Layout.N(),
-			completion,
-			res.Collector.MeanActiveRadioTime(ct).Round(time.Second),
-			totalTx)
+func main() {
+	plan, err := campaign.ParsePlan(planDoc)
+	if err != nil {
+		log.Fatal(err)
 	}
+	topo := plan.Scenario.Topology
+	fmt.Printf("deployment: %dx%d grid, program %d packets (%.1f KB)\n\n",
+		topo.Rows, topo.Cols, plan.Scenario.Run.ImagePackets,
+		float64(plan.Scenario.Run.ImagePackets*22)/1024)
+
+	out, err := (&campaign.Runner{Plan: plan}).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out.Report)
 	fmt.Println("\n(XNP is single-hop: nodes outside the base station's radio range stay")
 	fmt.Println(" unprogrammed — the limitation that motivates multihop reprogramming)")
 }

@@ -6,10 +6,15 @@
 // reboot signal — the paper deliberately never reboots on local
 // estimates — which gossips across the network.
 //
+// The deployment itself is fieldtrial.toml, a checked-in scenario
+// file; this program compiles and runs it, then drives the operator
+// actions a declarative document cannot express.
+//
 //	go run ./examples/fieldtrial
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"time"
@@ -17,20 +22,22 @@ import (
 	"mnp"
 	"mnp/internal/core"
 	"mnp/internal/packet"
+	"mnp/internal/scenario"
 )
 
+//go:embed fieldtrial.toml
+var scenarioDoc []byte
+
 func main() {
-	res, err := mnp.Simulate(mnp.Setup{
-		Name:         "fieldtrial",
-		Rows:         2,
-		Cols:         10,
-		Spacing:      15,
-		ImagePackets: 640, // 5 segments, 14.1 KB — a realistic app image
-		Protocol:     mnp.ProtocolMNP,
-		Power:        mnp.PowerOutdoorLow, // long thin strip: multihop
-		Seed:         3,
-		Limit:        8 * time.Hour,
-	})
+	sc, err := scenario.Parse(scenarioDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup, err := sc.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mnp.Simulate(setup)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,23 +7,29 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	// The protocol packages register themselves with protoreg from
+	// init; the experiment layer builds them only through the registry.
+	// core is imported by name for the typed MNP tuning hook.
+	_ "mnp/internal/deluge"
+	_ "mnp/internal/moap"
+	_ "mnp/internal/xnp"
+
 	"mnp/internal/core"
-	"mnp/internal/deluge"
 	"mnp/internal/engine"
 	"mnp/internal/faults"
 	"mnp/internal/image"
 	"mnp/internal/invariant"
 	"mnp/internal/metrics"
-	"mnp/internal/moap"
 	"mnp/internal/node"
 	"mnp/internal/packet"
+	"mnp/internal/protoreg"
 	"mnp/internal/radio"
 	"mnp/internal/sim"
 	"mnp/internal/telemetry"
 	"mnp/internal/topology"
-	"mnp/internal/xnp"
 )
 
 // ProtocolKind selects the dissemination protocol under test.
@@ -53,6 +59,34 @@ func (p ProtocolKind) String() string {
 	}
 }
 
+// RegistryName maps the kind to its protoreg registration ("mnp",
+// "deluge", "moap", "xnp"); unknown kinds return "".
+func (p ProtocolKind) RegistryName() string {
+	switch p {
+	case ProtocolMNP:
+		return "mnp"
+	case ProtocolDeluge:
+		return "deluge"
+	case ProtocolMOAP:
+		return "moap"
+	case ProtocolXNP:
+		return "xnp"
+	default:
+		return ""
+	}
+}
+
+// ProtocolByName resolves a registry name (case-insensitive) to its
+// kind — the inverse of RegistryName, used by scenario files and CLIs.
+func ProtocolByName(name string) (ProtocolKind, bool) {
+	for _, p := range []ProtocolKind{ProtocolMNP, ProtocolDeluge, ProtocolMOAP, ProtocolXNP} {
+		if strings.EqualFold(name, p.RegistryName()) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
 // Setup describes one simulated deployment.
 type Setup struct {
 	// Name labels reports.
@@ -73,6 +107,13 @@ type Setup struct {
 	ImageData []byte
 	// Protocol selects the dissemination protocol (default MNP).
 	Protocol ProtocolKind
+	// ProtocolOptions are declarative, protocol-specific knobs applied
+	// to every node after the package defaults (keys are defined by
+	// each protocol's register.go — e.g. "no_sleep", "data_interval"
+	// for MNP). They are the serializable face of the tuning closures:
+	// scenario files compile into this map. Nil keeps the defaults,
+	// byte-identical to earlier releases.
+	ProtocolOptions map[string]string
 	// BaseID places the base station (default node 0, a grid corner).
 	// The paper's scaling argument puts it at the center of a 4x
 	// larger network.
@@ -186,6 +227,28 @@ func (s Setup) Validate() error {
 	}
 	if s.Limit < 0 {
 		return fmt.Errorf("experiment %s: time limit %v is negative", s.Name, s.Limit)
+	}
+	// Protocol 0 is "unset" (Build defaults it to MNP); anything else
+	// must map to a registered protocol rather than falling through to
+	// a default branch at build time.
+	if s.Protocol != 0 {
+		name := s.Protocol.RegistryName()
+		if name == "" {
+			return fmt.Errorf("experiment %s: unknown protocol kind %d (valid: %s)",
+				s.Name, int(s.Protocol), strings.Join(protoreg.Names(), ", "))
+		}
+		if _, ok := protoreg.Lookup(name); !ok {
+			return fmt.Errorf("experiment %s: protocol %q is not registered", s.Name, name)
+		}
+	}
+	if len(s.ProtocolOptions) > 0 {
+		name := s.Protocol.RegistryName()
+		if name == "" {
+			name = ProtocolMNP.RegistryName()
+		}
+		if err := protoreg.ValidateOptions(name, s.ProtocolOptions); err != nil {
+			return fmt.Errorf("experiment %s: %w", s.Name, err)
+		}
 	}
 	return nil
 }
@@ -416,47 +479,38 @@ func Build(s Setup) (*Result, error) {
 }
 
 // protocolFactory builds the per-node protocol factory shared by the
-// sequential and sharded paths.
+// sequential and sharded paths by resolving the configured protocol in
+// the registry (each protocol package registers itself from init).
+// Validate has already vetted the kind and the option map, so the
+// builder cannot fail per node.
 func (s Setup) protocolFactory(img *image.Image) node.Factory {
+	name := s.Protocol.RegistryName()
+	builder, ok := protoreg.Lookup(name)
+	if !ok {
+		// Unreachable after Validate; a nil factory would be a silent
+		// misconfiguration, so fail loudly.
+		panic(fmt.Sprintf("experiment %s: protocol %q not registered", s.Name, name))
+	}
+	var tune any
+	if s.MNP != nil {
+		tune = s.MNP
+	}
 	return func(id packet.NodeID) (node.Protocol, node.Config) {
 		ncfg := node.Config{TxPower: s.Power}
 		if s.Battery != nil {
 			ncfg.Battery = s.Battery(id)
 		}
-		base := id == s.BaseID
-		switch s.Protocol {
-		case ProtocolDeluge:
-			cfg := deluge.DefaultConfig()
-			if base {
-				cfg.Base = true
-				cfg.Image = img
-			}
-			return deluge.New(cfg), ncfg
-		case ProtocolMOAP:
-			cfg := moap.DefaultConfig()
-			if base {
-				cfg.Base = true
-				cfg.Image = img
-			}
-			return moap.New(cfg), ncfg
-		case ProtocolXNP:
-			cfg := xnp.DefaultConfig()
-			if base {
-				cfg.Base = true
-				cfg.Image = img
-			}
-			return xnp.New(cfg), ncfg
-		default:
-			cfg := core.DefaultConfig()
-			if base {
-				cfg.Base = true
-				cfg.Image = img
-			}
-			if s.MNP != nil {
-				s.MNP(id, &cfg)
-			}
-			return core.New(cfg), ncfg
+		p, err := builder(protoreg.Build{
+			ID:      id,
+			Base:    id == s.BaseID,
+			Image:   img,
+			Options: s.ProtocolOptions,
+			Tune:    tune,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiment %s: building %s for node %v: %v", s.Name, name, id, err))
 		}
+		return p, ncfg
 	}
 }
 

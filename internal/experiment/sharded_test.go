@@ -31,6 +31,20 @@ func TestSetupValidate(t *testing.T) {
 		{"too-many-shards", func(s *Setup) { s.Shards = 5 }, "exceed"},
 		{"negative-image", func(s *Setup) { s.ImagePackets = -1 }, "negative"},
 		{"negative-limit", func(s *Setup) { s.Limit = -time.Second }, "negative"},
+		{"unknown-protocol", func(s *Setup) { s.Protocol = ProtocolKind(42) }, "unknown protocol kind 42"},
+		{"negative-protocol", func(s *Setup) { s.Protocol = ProtocolKind(-1) }, "unknown protocol kind"},
+		{"known-protocol", func(s *Setup) { s.Protocol = ProtocolDeluge }, ""},
+		{"bad-option-value", func(s *Setup) {
+			s.Protocol = ProtocolMNP
+			s.ProtocolOptions = map[string]string{"advertise_count": "many"}
+		}, "advertise_count"},
+		{"unknown-option-key", func(s *Setup) {
+			s.ProtocolOptions = map[string]string{"warp_speed": "9"}
+		}, "unknown option warp_speed"},
+		{"good-options", func(s *Setup) {
+			s.Protocol = ProtocolXNP
+			s.ProtocolOptions = map[string]string{"query_interval": "3s"}
+		}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

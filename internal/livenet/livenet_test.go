@@ -238,3 +238,68 @@ func TestStopIsIdempotentAndTerminates(t *testing.T) {
 	n.Stop()
 	n.Stop() // second call must not panic or hang
 }
+
+// timerProto is a minimal protocol that marks itself complete when a
+// fixed virtual-time timer fires — enough to observe time compression
+// without a full dissemination.
+type timerProto struct {
+	rt      node.Runtime
+	virtual time.Duration
+}
+
+func (p *timerProto) Init(rt node.Runtime) {
+	p.rt = rt
+	rt.RadioOn()
+	rt.SetTimer(1, p.virtual)
+}
+func (p *timerProto) OnPacket(packet.Packet, packet.NodeID) {}
+func (p *timerProto) OnTimer(id node.TimerID) {
+	if id == 1 {
+		p.rt.Complete()
+	}
+}
+
+// TestNonDefaultTimeScale pins the two contracts of a non-default
+// TimeScale: a zero value falls back to 200, and an explicit value
+// compresses wall time, so a 30-second virtual timer at scale 600
+// fires in ~50 ms instead of 30 s.
+func TestNonDefaultTimeScale(t *testing.T) {
+	l, err := topology.Line(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(packet.NodeID) node.Protocol {
+		return &timerProto{virtual: 30 * time.Second}
+	}
+
+	n, err := New(Config{Layout: l, Radio: cleanRadio()}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.cfg.TimeScale != 200 {
+		n.Stop()
+		t.Fatalf("default TimeScale = %v, want 200", n.cfg.TimeScale)
+	}
+	n.Stop()
+
+	n, err = New(Config{Layout: l, Radio: cleanRadio(), TimeScale: 600}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	begin := time.Now()
+	// Generous bound against a loaded CI box, but far below the 30 s
+	// an uncompressed timer would take.
+	if !n.WaitAllComplete(10 * time.Second) {
+		t.Fatalf("virtual timers did not fire: %d/2 complete", n.CompletedCount())
+	}
+	if wall := time.Since(begin); wall >= 30*time.Second {
+		t.Fatalf("completion took %v wall time; TimeScale not applied", wall)
+	}
+	// Virtual clocks must have advanced at least to the timer deadline.
+	for _, ln := range n.nodes {
+		if now := ln.Now(); now < 30*time.Second {
+			t.Fatalf("node %v virtual clock = %v, want >= 30s", ln.id, now)
+		}
+	}
+}

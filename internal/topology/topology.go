@@ -89,6 +89,29 @@ func Random(n int, w, h float64, seed int64) (*Layout, error) {
 	return &Layout{name: fmt.Sprintf("random-%d@%gx%gft", n, w, h), points: pts}, nil
 }
 
+// FromPoints places motes at explicit coordinates (feet) — the
+// escape hatch for surveyed field deployments and scenario files that
+// list positions directly. The slice is copied; node i sits at pts[i].
+func FromPoints(name string, pts []Point) (*Layout, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("topology: point layout %q has no nodes", name)
+	}
+	if len(pts) > int(packet.Broadcast) {
+		return nil, fmt.Errorf("topology: %d nodes exceeds the address space", len(pts))
+	}
+	for i, p := range pts {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return nil, fmt.Errorf("topology: point %d (%g, %g) is not finite", i, p.X, p.Y)
+		}
+	}
+	if name == "" {
+		name = fmt.Sprintf("points-%d", len(pts))
+	}
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	return &Layout{name: name, points: cp}, nil
+}
+
 // Name describes the layout for reports.
 func (l *Layout) Name() string { return l.name }
 

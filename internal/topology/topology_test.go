@@ -245,3 +245,37 @@ func TestName(t *testing.T) {
 		t.Fatal("empty name")
 	}
 }
+
+func TestFromPoints(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 0}, {0, 10}}
+	l, err := FromPoints("survey", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.N() != 3 || l.Name() != "survey" {
+		t.Fatalf("N=%d name=%q", l.N(), l.Name())
+	}
+	if l.Rows() != 0 || l.Cols() != 0 {
+		t.Fatalf("point layouts must not claim grid shape: rows=%d cols=%d", l.Rows(), l.Cols())
+	}
+	d, err := l.Distance(0, 1)
+	if err != nil || d != 10 {
+		t.Fatalf("Distance(0,1) = %v, %v; want 10", d, err)
+	}
+	// The input slice must be copied, not aliased.
+	pts[1].X = 999
+	if d2, _ := l.Distance(0, 1); d2 != 10 {
+		t.Fatalf("layout aliases caller slice: Distance(0,1) = %v after mutation", d2)
+	}
+	if _, err := FromPoints("empty", nil); err == nil {
+		t.Fatal("FromPoints accepted an empty layout")
+	}
+	if _, err := FromPoints("nan", []Point{{math.NaN(), 0}}); err == nil {
+		t.Fatal("FromPoints accepted a NaN coordinate")
+	}
+	// A default name is generated when none is given.
+	anon, err := FromPoints("", pts[:2])
+	if err != nil || anon.Name() != "points-2" {
+		t.Fatalf("anonymous layout: %v, name %q", err, anon.Name())
+	}
+}

@@ -1,7 +1,14 @@
 // Command benchjson converts `go test -bench -benchmem` output on
-// stdin into a JSON document on stdout, so the Makefile's bench target
-// can commit machine-readable numbers (BENCH_sim.json) next to the
-// human-readable log.
+// stdin into machine-readable JSON, so the Makefile's bench target can
+// commit numbers (BENCH_sim.json) next to the human-readable log.
+//
+// With -out FILE it appends a history entry — keyed by git SHA and
+// date — to the file's "history" array instead of overwriting, so the
+// committed document accumulates a benchmark timeline across
+// revisions. Re-running on the same SHA replaces that SHA's entry
+// rather than duplicating it. A legacy single-document file (the
+// pre-history format) is migrated into the array on first append.
+// Without -out, the single parsed document goes to stdout as before.
 package main
 
 import (
@@ -9,8 +16,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one benchmark line.
@@ -22,7 +31,7 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// Doc is the emitted document.
+// Doc is one benchmark run.
 type Doc struct {
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
@@ -30,18 +39,134 @@ type Doc struct {
 	Results []Result `json:"results"`
 }
 
+// Entry is one history element: a run stamped with its revision.
+type Entry struct {
+	SHA  string `json:"sha"`
+	Date string `json:"date"`
+	Doc
+}
+
+// History is the -out file format.
+type History struct {
+	History []Entry `json:"history"`
+}
+
 func main() {
+	var outPath, sha, date string
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		flagVal := func() string {
+			i++
+			if i >= len(args) {
+				fmt.Fprintf(os.Stderr, "benchjson: %s needs a value\n", args[i-1])
+				os.Exit(2)
+			}
+			return args[i]
+		}
+		switch args[i] {
+		case "-out":
+			outPath = flagVal()
+		case "-sha":
+			sha = flagVal()
+		case "-date":
+			date = flagVal()
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown flag %s (have -out, -sha, -date)\n", args[i])
+			os.Exit(2)
+		}
+	}
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	if outPath == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if sha == "" {
+		sha = gitSHA()
+	}
+	if date == "" {
+		date = time.Now().UTC().Format("2006-01-02")
+	}
+	if err := appendHistory(outPath, Entry{SHA: sha, Date: date, Doc: *doc}); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// gitSHA asks git for the current revision; outside a repository the
+// entry is stamped "unknown" rather than failing the bench run.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendHistory loads path (tolerating a missing file and migrating
+// the legacy single-document format), upserts the entry by SHA, and
+// writes the file back.
+func appendHistory(path string, entry Entry) error {
+	hist, err := loadHistory(path)
+	if err != nil {
+		return err
+	}
+	replaced := false
+	for i := range hist.History {
+		if hist.History[i].SHA == entry.SHA {
+			hist.History[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		hist.History = append(hist.History, entry)
+	}
+	buf, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// loadHistory reads an existing history file. A legacy file — the
+// old overwrite format, a single Doc — becomes the first history
+// entry, stamped "pre-history" since its revision is unrecorded.
+func loadHistory(path string) (*History, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &History{History: []Entry{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, ok := probe["history"]; ok {
+		var hist History
+		if err := json.Unmarshal(data, &hist); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &hist, nil
+	}
+	var legacy Doc
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(legacy.Results) == 0 {
+		return &History{History: []Entry{}}, nil
+	}
+	return &History{History: []Entry{{SHA: "pre-history", Doc: legacy}}}, nil
 }
 
 func parse(sc *bufio.Scanner) (*Doc, error) {

@@ -3,6 +3,8 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -82,6 +84,92 @@ func TestEmitGolden(t *testing.T) {
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(bufio.NewScanner(strings.NewReader("no benchmarks here\n"))); err == nil {
 		t.Fatal("parse accepted input with no benchmark lines")
+	}
+}
+
+// TestHistoryAppend covers the -out lifecycle: fresh file, append of a
+// second revision, and upsert when the same SHA is benched again.
+func TestHistoryAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sampleBench)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, Entry{SHA: "aaa1111", Date: "2026-08-01", Doc: *doc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, Entry{SHA: "bbb2222", Date: "2026-08-06", Doc: *doc}); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) != 2 || hist.History[0].SHA != "aaa1111" || hist.History[1].SHA != "bbb2222" {
+		t.Fatalf("history = %+v", hist.History)
+	}
+	if hist.History[0].Date != "2026-08-01" || len(hist.History[1].Results) != 2 {
+		t.Fatalf("entry contents lost: %+v", hist.History)
+	}
+
+	// Re-benching the same SHA replaces its entry in place.
+	mod := *doc
+	mod.Results = mod.Results[:1]
+	if err := appendHistory(path, Entry{SHA: "bbb2222", Date: "2026-08-07", Doc: mod}); err != nil {
+		t.Fatal(err)
+	}
+	hist, err = loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) != 2 {
+		t.Fatalf("upsert duplicated: %d entries", len(hist.History))
+	}
+	if hist.History[1].Date != "2026-08-07" || len(hist.History[1].Results) != 1 {
+		t.Fatalf("upsert did not replace: %+v", hist.History[1])
+	}
+}
+
+// TestHistoryMigratesLegacyFile: the old overwrite-format file becomes
+// the first history entry instead of being clobbered.
+func TestHistoryMigratesLegacyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sampleBench)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, Entry{SHA: "ccc3333", Date: "2026-08-06", Doc: *doc}); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) != 2 {
+		t.Fatalf("migration produced %d entries, want 2", len(hist.History))
+	}
+	if hist.History[0].SHA != "pre-history" || len(hist.History[0].Results) != 2 {
+		t.Fatalf("legacy entry = %+v", hist.History[0])
+	}
+	if hist.History[1].SHA != "ccc3333" {
+		t.Fatalf("new entry = %+v", hist.History[1])
+	}
+}
+
+func TestLoadHistoryRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadHistory(path); err == nil {
+		t.Fatal("garbage file accepted")
 	}
 }
 
