@@ -45,6 +45,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzRuntimeOps' -fuzztime $(FUZZTIME) ./internal/node/nodetest/
 	$(GO) test -run '^$$' -fuzz 'FuzzRecordRoundTrip' -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz 'FuzzScenarioParse' -fuzztime $(FUZZTIME) ./internal/scenario/
+	$(GO) test -run '^$$' -fuzz 'FuzzGridIndex' -fuzztime $(FUZZTIME) ./internal/topology/
 
 # bench runs the simulation-substrate micro-benchmarks plus the
 # end-to-end Figure 8 regeneration and the sharded-engine scaling
@@ -58,6 +59,8 @@ bench: build
 	@rm -f bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkMediumTransmit|BenchmarkKernelSchedule' \
 		-benchmem -benchtime 2000x . | tee bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkGeometryBuild' \
+		-benchmem -benchtime 20x . | tee -a bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8ActiveRadioTime$$' \
 		-benchmem -benchtime 2x . | tee -a bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineGrid' \

@@ -172,6 +172,43 @@ func BenchmarkMediumTransmit(b *testing.B) {
 	}
 }
 
+// BenchmarkGeometryBuild measures sparse radio-geometry construction —
+// the simulator's startup cost — across three decades of deployment
+// size up to the 250k-node scaling target. The curve should be
+// near-linear in n (the spatial index is two O(n) passes), and the
+// geo-B metric reports the geometry's resident bytes so benchjson can
+// record the memory series alongside the timings: roughly 24 B/node
+// versus the 8n² B the dense distance matrix would need (500 GB at
+// 250k nodes).
+func BenchmarkGeometryBuild(b *testing.B) {
+	for _, dims := range []struct{ rows, cols int }{
+		{25, 40},   // 1000
+		{100, 100}, // 10k
+		{250, 400}, // 100k
+		{500, 500}, // 250k
+	} {
+		n := dims.rows * dims.cols
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			layout, err := topology.Grid(dims.rows, dims.cols, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			params := radio.DefaultParams()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var fp uint64
+			for i := 0; i < b.N; i++ {
+				geo, err := radio.NewGeometry(layout, params, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fp = geo.Footprint()
+			}
+			b.ReportMetric(float64(fp), "geo-B")
+		})
+	}
+}
+
 // BenchmarkEngineGrid measures the sharded lockstep engine against the
 // sequential kernel: one full 60x60-grid (3600-node) dissemination per
 // iteration at 1, 2, 4, and 8 spatial shards. The shards=1 case is the

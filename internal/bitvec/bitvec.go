@@ -227,6 +227,35 @@ func Decode(n int, data []byte) (*Vector, error) {
 	return v, nil
 }
 
+// DecodeReuse is Decode into an existing vector: when v is non-nil and
+// its word storage already spans n bits, the storage is reused and v
+// itself is returned; otherwise a fresh vector is allocated exactly as
+// Decode does. The radio's pooled frame decoding uses it so steady-state
+// deliveries of vector-carrying messages stop allocating.
+func DecodeReuse(v *Vector, n int, data []byte) (*Vector, error) {
+	if v == nil || n <= 0 || n > MaxBits || cap(v.words) < (n+63)/64 {
+		return Decode(n, data)
+	}
+	want := (n + 7) / 8
+	if len(data) != want {
+		return nil, fmt.Errorf("bitvec: decode %d bits needs %d bytes, got %d", n, want, len(data))
+	}
+	if tail := n % 8; tail != 0 && data[len(data)-1]>>uint(tail) != 0 {
+		return nil, fmt.Errorf("bitvec: nonzero padding bits in final byte")
+	}
+	v.n = n
+	v.words = v.words[:(n+63)/64]
+	for i := range v.words {
+		v.words[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		if data[i/8]&(1<<(uint(i)%8)) != 0 {
+			v.Set(i)
+		}
+	}
+	return v, nil
+}
+
 // String renders the vector as a compact summary for logs and tests.
 func (v *Vector) String() string {
 	var b strings.Builder
@@ -314,6 +343,27 @@ func (s *Set) OrIntersection(a, b *Set) {
 	for i := range s.words {
 		s.words[i] |= a.words[i] & b.words[i]
 	}
+}
+
+// ResetCap empties the set and re-dimensions it to the key space
+// [0, n), reusing the existing word storage when it is large enough.
+// The radio's pooled collision sets use it: each transmission's set is
+// sized to that frame's audible-neighbor count, so capacity follows the
+// local node degree instead of the network size.
+func (s *Set) ResetCap(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative set capacity %d", n))
+	}
+	words := (n + 63) / 64
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+	} else {
+		s.words = s.words[:words]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
 }
 
 func (s *Set) checkKey(i int) {

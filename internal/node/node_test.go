@@ -20,7 +20,14 @@ type echoProto struct {
 
 func (p *echoProto) Init(rt Runtime) { p.rt = rt }
 func (p *echoProto) OnPacket(pk packet.Packet, f packet.NodeID) {
-	p.packets = append(p.packets, pk)
+	// A delivered packet is only valid during the callback — the radio
+	// reuses decoded messages — so retain an independent copy via a
+	// wire round-trip.
+	cp, err := packet.Decode(packet.Encode(pk))
+	if err != nil {
+		panic(err)
+	}
+	p.packets = append(p.packets, cp)
 	p.froms = append(p.froms, f)
 }
 func (p *echoProto) OnTimer(id TimerID) { p.timers = append(p.timers, id) }

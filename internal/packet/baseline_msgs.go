@@ -1,7 +1,6 @@
 package packet
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"mnp/internal/bitvec"
@@ -30,18 +29,19 @@ func (*DelugeAdv) Dest() NodeID { return Broadcast }
 func (a *DelugeAdv) Source() NodeID { return a.Src }
 
 func (a *DelugeAdv) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(a.Src))
+	b = appendNodeID(b, a.Src)
 	b = append(b, a.ProgramID, a.Version, a.NumPages, a.HavePages, a.PagePackets)
-	return binary.BigEndian.AppendUint16(b, a.TotalPackets)
+	return appendU16(b, a.TotalPackets)
 }
 
 func (a *DelugeAdv) decodePayload(b []byte) error {
-	if len(b) != 9 {
-		return fmt.Errorf("deluge adv payload %d bytes, want 9", len(b))
+	r := payloadReader{b: b}
+	a.Src = r.nodeID()
+	a.ProgramID, a.Version, a.NumPages, a.HavePages, a.PagePackets = r.u8(), r.u8(), r.u8(), r.u8(), r.u8()
+	a.TotalPackets = r.u16()
+	if !r.ok() {
+		return fmt.Errorf("malformed deluge adv payload (%d bytes)", len(b))
 	}
-	a.Src = NodeID(binary.BigEndian.Uint16(b))
-	a.ProgramID, a.Version, a.NumPages, a.HavePages, a.PagePackets = b[2], b[3], b[4], b[5], b[6]
-	a.TotalPackets = binary.BigEndian.Uint16(b[7:])
 	return nil
 }
 
@@ -66,8 +66,8 @@ func (r *DelugeReq) Dest() NodeID { return r.DestID }
 func (r *DelugeReq) Source() NodeID { return r.Src }
 
 func (r *DelugeReq) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(r.Src))
-	b = binary.BigEndian.AppendUint16(b, uint16(r.DestID))
+	b = appendNodeID(b, r.Src)
+	b = appendNodeID(b, r.DestID)
 	b = append(b, r.ProgramID, r.Page, r.PagePackets)
 	if r.Missing != nil {
 		b = append(b, r.Missing.Bytes()...)
@@ -76,18 +76,19 @@ func (r *DelugeReq) appendPayload(b []byte) []byte {
 }
 
 func (r *DelugeReq) decodePayload(b []byte) error {
-	if len(b) < 7 {
-		return fmt.Errorf("deluge req payload %d bytes, want >= 7", len(b))
+	rd := payloadReader{b: b}
+	r.Src = rd.nodeID()
+	r.DestID = rd.nodeID()
+	r.ProgramID, r.Page, r.PagePackets = rd.u8(), rd.u8(), rd.u8()
+	rest := rd.rest()
+	if !rd.ok() {
+		return fmt.Errorf("malformed deluge req payload (%d bytes)", len(b))
 	}
-	r.Src = NodeID(binary.BigEndian.Uint16(b))
-	r.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
-	r.ProgramID, r.Page, r.PagePackets = b[4], b[5], b[6]
-	rest := b[7:]
 	if len(rest) == 0 {
 		r.Missing = nil
 		return nil
 	}
-	v, err := bitvec.Decode(int(r.PagePackets), rest)
+	v, err := bitvec.DecodeReuse(r.Missing, int(r.PagePackets), rest)
 	if err != nil {
 		return err
 	}
@@ -114,18 +115,19 @@ func (*DelugeData) Dest() NodeID { return Broadcast }
 func (d *DelugeData) Source() NodeID { return d.Src }
 
 func (d *DelugeData) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(d.Src))
+	b = appendNodeID(b, d.Src)
 	b = append(b, d.ProgramID, d.Page, d.PacketID)
 	return append(b, d.Payload...)
 }
 
 func (d *DelugeData) decodePayload(b []byte) error {
-	if len(b) < 5 {
-		return fmt.Errorf("deluge data payload %d bytes, want >= 5", len(b))
+	r := payloadReader{b: b}
+	d.Src = r.nodeID()
+	d.ProgramID, d.Page, d.PacketID = r.u8(), r.u8(), r.u8()
+	if r.failed {
+		return fmt.Errorf("malformed deluge data payload (%d bytes)", len(b))
 	}
-	d.Src = NodeID(binary.BigEndian.Uint16(b))
-	d.ProgramID, d.Page, d.PacketID = b[2], b[3], b[4]
-	d.Payload = append([]byte(nil), b[5:]...)
+	d.Payload = append(d.Payload[:0], r.rest()...)
 	return nil
 }
 
@@ -148,18 +150,19 @@ func (*MoapPublish) Dest() NodeID { return Broadcast }
 func (p *MoapPublish) Source() NodeID { return p.Src }
 
 func (p *MoapPublish) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(p.Src))
+	b = appendNodeID(b, p.Src)
 	b = append(b, p.ProgramID, p.Version)
-	return binary.BigEndian.AppendUint16(b, p.Total)
+	return appendU16(b, p.Total)
 }
 
 func (p *MoapPublish) decodePayload(b []byte) error {
-	if len(b) != 6 {
-		return fmt.Errorf("moap publish payload %d bytes, want 6", len(b))
+	r := payloadReader{b: b}
+	p.Src = r.nodeID()
+	p.ProgramID, p.Version = r.u8(), r.u8()
+	p.Total = r.u16()
+	if !r.ok() {
+		return fmt.Errorf("malformed moap publish payload (%d bytes)", len(b))
 	}
-	p.Src = NodeID(binary.BigEndian.Uint16(b))
-	p.ProgramID, p.Version = b[2], b[3]
-	p.Total = binary.BigEndian.Uint16(b[4:])
 	return nil
 }
 
@@ -180,18 +183,19 @@ func (s *MoapSubscribe) Dest() NodeID { return s.DestID }
 func (s *MoapSubscribe) Source() NodeID { return s.Src }
 
 func (s *MoapSubscribe) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(s.Src))
-	b = binary.BigEndian.AppendUint16(b, uint16(s.DestID))
+	b = appendNodeID(b, s.Src)
+	b = appendNodeID(b, s.DestID)
 	return append(b, s.ProgramID)
 }
 
 func (s *MoapSubscribe) decodePayload(b []byte) error {
-	if len(b) != 5 {
-		return fmt.Errorf("moap subscribe payload %d bytes, want 5", len(b))
+	r := payloadReader{b: b}
+	s.Src = r.nodeID()
+	s.DestID = r.nodeID()
+	s.ProgramID = r.u8()
+	if !r.ok() {
+		return fmt.Errorf("malformed moap subscribe payload (%d bytes)", len(b))
 	}
-	s.Src = NodeID(binary.BigEndian.Uint16(b))
-	s.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
-	s.ProgramID = b[4]
 	return nil
 }
 
@@ -215,22 +219,23 @@ func (*MoapData) Dest() NodeID { return Broadcast }
 func (d *MoapData) Source() NodeID { return d.Src }
 
 func (d *MoapData) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(d.Src))
+	b = appendNodeID(b, d.Src)
 	b = append(b, d.ProgramID)
-	b = binary.BigEndian.AppendUint16(b, d.Seq)
-	b = binary.BigEndian.AppendUint16(b, d.Total)
+	b = appendU16(b, d.Seq)
+	b = appendU16(b, d.Total)
 	return append(b, d.Payload...)
 }
 
 func (d *MoapData) decodePayload(b []byte) error {
-	if len(b) < 7 {
-		return fmt.Errorf("moap data payload %d bytes, want >= 7", len(b))
+	r := payloadReader{b: b}
+	d.Src = r.nodeID()
+	d.ProgramID = r.u8()
+	d.Seq = r.u16()
+	d.Total = r.u16()
+	if r.failed {
+		return fmt.Errorf("malformed moap data payload (%d bytes)", len(b))
 	}
-	d.Src = NodeID(binary.BigEndian.Uint16(b))
-	d.ProgramID = b[2]
-	d.Seq = binary.BigEndian.Uint16(b[3:])
-	d.Total = binary.BigEndian.Uint16(b[5:])
-	d.Payload = append([]byte(nil), b[7:]...)
+	d.Payload = append(d.Payload[:0], r.rest()...)
 	return nil
 }
 
@@ -253,20 +258,21 @@ func (n *MoapNak) Dest() NodeID { return n.DestID }
 func (n *MoapNak) Source() NodeID { return n.Src }
 
 func (n *MoapNak) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(n.Src))
-	b = binary.BigEndian.AppendUint16(b, uint16(n.DestID))
+	b = appendNodeID(b, n.Src)
+	b = appendNodeID(b, n.DestID)
 	b = append(b, n.ProgramID)
-	return binary.BigEndian.AppendUint16(b, n.Seq)
+	return appendU16(b, n.Seq)
 }
 
 func (n *MoapNak) decodePayload(b []byte) error {
-	if len(b) != 7 {
-		return fmt.Errorf("moap nak payload %d bytes, want 7", len(b))
+	r := payloadReader{b: b}
+	n.Src = r.nodeID()
+	n.DestID = r.nodeID()
+	n.ProgramID = r.u8()
+	n.Seq = r.u16()
+	if !r.ok() {
+		return fmt.Errorf("malformed moap nak payload (%d bytes)", len(b))
 	}
-	n.Src = NodeID(binary.BigEndian.Uint16(b))
-	n.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
-	n.ProgramID = b[4]
-	n.Seq = binary.BigEndian.Uint16(b[5:])
 	return nil
 }
 
@@ -290,22 +296,23 @@ func (*XnpData) Dest() NodeID { return Broadcast }
 func (d *XnpData) Source() NodeID { return d.Src }
 
 func (d *XnpData) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(d.Src))
+	b = appendNodeID(b, d.Src)
 	b = append(b, d.ProgramID)
-	b = binary.BigEndian.AppendUint16(b, d.Seq)
-	b = binary.BigEndian.AppendUint16(b, d.Total)
+	b = appendU16(b, d.Seq)
+	b = appendU16(b, d.Total)
 	return append(b, d.Payload...)
 }
 
 func (d *XnpData) decodePayload(b []byte) error {
-	if len(b) < 7 {
-		return fmt.Errorf("xnp data payload %d bytes, want >= 7", len(b))
+	r := payloadReader{b: b}
+	d.Src = r.nodeID()
+	d.ProgramID = r.u8()
+	d.Seq = r.u16()
+	d.Total = r.u16()
+	if r.failed {
+		return fmt.Errorf("malformed xnp data payload (%d bytes)", len(b))
 	}
-	d.Src = NodeID(binary.BigEndian.Uint16(b))
-	d.ProgramID = b[2]
-	d.Seq = binary.BigEndian.Uint16(b[3:])
-	d.Total = binary.BigEndian.Uint16(b[5:])
-	d.Payload = append([]byte(nil), b[7:]...)
+	d.Payload = append(d.Payload[:0], r.rest()...)
 	return nil
 }
 
@@ -326,16 +333,17 @@ func (*XnpQueryStatus) Dest() NodeID { return Broadcast }
 func (q *XnpQueryStatus) Source() NodeID { return q.Src }
 
 func (q *XnpQueryStatus) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(q.Src))
+	b = appendNodeID(b, q.Src)
 	return append(b, q.ProgramID)
 }
 
 func (q *XnpQueryStatus) decodePayload(b []byte) error {
-	if len(b) != 3 {
-		return fmt.Errorf("xnp query payload %d bytes, want 3", len(b))
+	r := payloadReader{b: b}
+	q.Src = r.nodeID()
+	q.ProgramID = r.u8()
+	if !r.ok() {
+		return fmt.Errorf("malformed xnp query payload (%d bytes)", len(b))
 	}
-	q.Src = NodeID(binary.BigEndian.Uint16(b))
-	q.ProgramID = b[2]
 	return nil
 }
 
@@ -361,19 +369,20 @@ func (s *XnpStatus) Dest() NodeID { return s.DestID }
 func (s *XnpStatus) Source() NodeID { return s.Src }
 
 func (s *XnpStatus) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(s.Src))
-	b = binary.BigEndian.AppendUint16(b, uint16(s.DestID))
+	b = appendNodeID(b, s.Src)
+	b = appendNodeID(b, s.DestID)
 	b = append(b, s.ProgramID)
-	return binary.BigEndian.AppendUint16(b, s.Seq)
+	return appendU16(b, s.Seq)
 }
 
 func (s *XnpStatus) decodePayload(b []byte) error {
-	if len(b) != 7 {
-		return fmt.Errorf("xnp status payload %d bytes, want 7", len(b))
+	r := payloadReader{b: b}
+	s.Src = r.nodeID()
+	s.DestID = r.nodeID()
+	s.ProgramID = r.u8()
+	s.Seq = r.u16()
+	if !r.ok() {
+		return fmt.Errorf("malformed xnp status payload (%d bytes)", len(b))
 	}
-	s.Src = NodeID(binary.BigEndian.Uint16(b))
-	s.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
-	s.ProgramID = b[4]
-	s.Seq = binary.BigEndian.Uint16(b[5:])
 	return nil
 }

@@ -1,7 +1,6 @@
 package packet
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"mnp/internal/bitvec"
@@ -31,20 +30,21 @@ func (*Advertise) Dest() NodeID { return Broadcast }
 func (a *Advertise) Source() NodeID { return a.Src }
 
 func (a *Advertise) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(a.Src))
+	b = appendNodeID(b, a.Src)
 	b = append(b, a.ProgramID, a.ProgramSegments, a.SegID, a.SegNominal)
-	b = binary.BigEndian.AppendUint16(b, a.TotalPackets)
+	b = appendU16(b, a.TotalPackets)
 	return append(b, a.ReqCtr)
 }
 
 func (a *Advertise) decodePayload(b []byte) error {
-	if len(b) != 9 {
-		return fmt.Errorf("advertise payload %d bytes, want 9", len(b))
+	r := payloadReader{b: b}
+	a.Src = r.nodeID()
+	a.ProgramID, a.ProgramSegments, a.SegID, a.SegNominal = r.u8(), r.u8(), r.u8(), r.u8()
+	a.TotalPackets = r.u16()
+	a.ReqCtr = r.u8()
+	if !r.ok() {
+		return fmt.Errorf("malformed advertise payload (%d bytes)", len(b))
 	}
-	a.Src = NodeID(binary.BigEndian.Uint16(b))
-	a.ProgramID, a.ProgramSegments, a.SegID, a.SegNominal = b[2], b[3], b[4], b[5]
-	a.TotalPackets = binary.BigEndian.Uint16(b[6:])
-	a.ReqCtr = b[8]
 	return nil
 }
 
@@ -74,8 +74,8 @@ func (r *DownloadRequest) Dest() NodeID { return r.DestID }
 func (r *DownloadRequest) Source() NodeID { return r.Src }
 
 func (r *DownloadRequest) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(r.Src))
-	b = binary.BigEndian.AppendUint16(b, uint16(r.DestID))
+	b = appendNodeID(b, r.Src)
+	b = appendNodeID(b, r.DestID)
 	b = append(b, r.ProgramID, r.SegID, r.SegPackets, r.EchoReqCtr)
 	if r.Missing != nil {
 		b = append(b, r.Missing.Bytes()...)
@@ -84,18 +84,19 @@ func (r *DownloadRequest) appendPayload(b []byte) []byte {
 }
 
 func (r *DownloadRequest) decodePayload(b []byte) error {
-	if len(b) < 8 {
-		return fmt.Errorf("download request payload %d bytes, want >= 8", len(b))
+	rd := payloadReader{b: b}
+	r.Src = rd.nodeID()
+	r.DestID = rd.nodeID()
+	r.ProgramID, r.SegID, r.SegPackets, r.EchoReqCtr = rd.u8(), rd.u8(), rd.u8(), rd.u8()
+	rest := rd.rest()
+	if !rd.ok() {
+		return fmt.Errorf("malformed download request payload (%d bytes)", len(b))
 	}
-	r.Src = NodeID(binary.BigEndian.Uint16(b))
-	r.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
-	r.ProgramID, r.SegID, r.SegPackets, r.EchoReqCtr = b[4], b[5], b[6], b[7]
-	rest := b[8:]
 	if len(rest) == 0 {
 		r.Missing = nil
 		return nil
 	}
-	v, err := bitvec.Decode(int(r.SegPackets), rest)
+	v, err := bitvec.DecodeReuse(r.Missing, int(r.SegPackets), rest)
 	if err != nil {
 		return err
 	}
@@ -123,16 +124,17 @@ func (*StartDownload) Dest() NodeID { return Broadcast }
 func (s *StartDownload) Source() NodeID { return s.Src }
 
 func (s *StartDownload) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(s.Src))
+	b = appendNodeID(b, s.Src)
 	return append(b, s.ProgramID, s.SegID, s.SegPackets)
 }
 
 func (s *StartDownload) decodePayload(b []byte) error {
-	if len(b) != 5 {
-		return fmt.Errorf("start download payload %d bytes, want 5", len(b))
+	r := payloadReader{b: b}
+	s.Src = r.nodeID()
+	s.ProgramID, s.SegID, s.SegPackets = r.u8(), r.u8(), r.u8()
+	if !r.ok() {
+		return fmt.Errorf("malformed start download payload (%d bytes)", len(b))
 	}
-	s.Src = NodeID(binary.BigEndian.Uint16(b))
-	s.ProgramID, s.SegID, s.SegPackets = b[2], b[3], b[4]
 	return nil
 }
 
@@ -158,18 +160,19 @@ func (*Data) Dest() NodeID { return Broadcast }
 func (d *Data) Source() NodeID { return d.Src }
 
 func (d *Data) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(d.Src))
+	b = appendNodeID(b, d.Src)
 	b = append(b, d.ProgramID, d.SegID, d.PacketID)
 	return append(b, d.Payload...)
 }
 
 func (d *Data) decodePayload(b []byte) error {
-	if len(b) < 5 {
-		return fmt.Errorf("data payload %d bytes, want >= 5", len(b))
+	r := payloadReader{b: b}
+	d.Src = r.nodeID()
+	d.ProgramID, d.SegID, d.PacketID = r.u8(), r.u8(), r.u8()
+	if r.failed {
+		return fmt.Errorf("malformed data payload (%d bytes)", len(b))
 	}
-	d.Src = NodeID(binary.BigEndian.Uint16(b))
-	d.ProgramID, d.SegID, d.PacketID = b[2], b[3], b[4]
-	d.Payload = append([]byte(nil), b[5:]...)
+	d.Payload = append(d.Payload[:0], r.rest()...)
 	return nil
 }
 
@@ -192,16 +195,17 @@ func (*EndDownload) Dest() NodeID { return Broadcast }
 func (e *EndDownload) Source() NodeID { return e.Src }
 
 func (e *EndDownload) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(e.Src))
+	b = appendNodeID(b, e.Src)
 	return append(b, e.ProgramID, e.SegID)
 }
 
 func (e *EndDownload) decodePayload(b []byte) error {
-	if len(b) != 4 {
-		return fmt.Errorf("end download payload %d bytes, want 4", len(b))
+	r := payloadReader{b: b}
+	e.Src = r.nodeID()
+	e.ProgramID, e.SegID = r.u8(), r.u8()
+	if !r.ok() {
+		return fmt.Errorf("malformed end download payload (%d bytes)", len(b))
 	}
-	e.Src = NodeID(binary.BigEndian.Uint16(b))
-	e.ProgramID, e.SegID = b[2], b[3]
 	return nil
 }
 
@@ -223,16 +227,17 @@ func (*Query) Dest() NodeID { return Broadcast }
 func (q *Query) Source() NodeID { return q.Src }
 
 func (q *Query) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(q.Src))
+	b = appendNodeID(b, q.Src)
 	return append(b, q.ProgramID, q.SegID)
 }
 
 func (q *Query) decodePayload(b []byte) error {
-	if len(b) != 4 {
-		return fmt.Errorf("query payload %d bytes, want 4", len(b))
+	r := payloadReader{b: b}
+	q.Src = r.nodeID()
+	q.ProgramID, q.SegID = r.u8(), r.u8()
+	if !r.ok() {
+		return fmt.Errorf("malformed query payload (%d bytes)", len(b))
 	}
-	q.Src = NodeID(binary.BigEndian.Uint16(b))
-	q.ProgramID, q.SegID = b[2], b[3]
 	return nil
 }
 
@@ -258,18 +263,19 @@ func (r *RepairRequest) Dest() NodeID { return r.DestID }
 func (r *RepairRequest) Source() NodeID { return r.Src }
 
 func (r *RepairRequest) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(r.Src))
-	b = binary.BigEndian.AppendUint16(b, uint16(r.DestID))
+	b = appendNodeID(b, r.Src)
+	b = appendNodeID(b, r.DestID)
 	return append(b, r.ProgramID, r.SegID, r.PacketID)
 }
 
 func (r *RepairRequest) decodePayload(b []byte) error {
-	if len(b) != 7 {
-		return fmt.Errorf("repair request payload %d bytes, want 7", len(b))
+	rd := payloadReader{b: b}
+	r.Src = rd.nodeID()
+	r.DestID = rd.nodeID()
+	r.ProgramID, r.SegID, r.PacketID = rd.u8(), rd.u8(), rd.u8()
+	if !rd.ok() {
+		return fmt.Errorf("malformed repair request payload (%d bytes)", len(b))
 	}
-	r.Src = NodeID(binary.BigEndian.Uint16(b))
-	r.DestID = NodeID(binary.BigEndian.Uint16(b[2:]))
-	r.ProgramID, r.SegID, r.PacketID = b[4], b[5], b[6]
 	return nil
 }
 
@@ -291,15 +297,16 @@ func (*StartSignal) Dest() NodeID { return Broadcast }
 func (s *StartSignal) Source() NodeID { return s.Src }
 
 func (s *StartSignal) appendPayload(b []byte) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(s.Src))
+	b = appendNodeID(b, s.Src)
 	return append(b, s.ProgramID)
 }
 
 func (s *StartSignal) decodePayload(b []byte) error {
-	if len(b) != 3 {
-		return fmt.Errorf("start signal payload %d bytes, want 3", len(b))
+	r := payloadReader{b: b}
+	s.Src = r.nodeID()
+	s.ProgramID = r.u8()
+	if !r.ok() {
+		return fmt.Errorf("malformed start signal payload (%d bytes)", len(b))
 	}
-	s.Src = NodeID(binary.BigEndian.Uint16(b))
-	s.ProgramID = b[2]
 	return nil
 }

@@ -15,18 +15,24 @@ import (
 )
 
 // NodeID identifies a mote. IDs are assigned by the deployment; the
-// base station conventionally has ID 0.
-type NodeID uint16
+// base station conventionally has ID 0. The type is 32 bits wide so
+// deployments can exceed the 16-bit TOS_Msg address space (the sparse
+// radio geometry simulates hundreds of thousands of nodes); on the wire
+// an ID below wideEscape still occupies the classic two bytes, so every
+// deployment that fit the old address space produces byte-identical
+// frames.
+type NodeID uint32
 
-// Broadcast is the address that targets every node in radio range.
-const Broadcast NodeID = 0xFFFF
+// Broadcast is the address that targets every node in radio range. It
+// encodes as the classic 16-bit 0xFFFF on the wire.
+const Broadcast NodeID = 0xFFFFFFFF
 
 // String renders a NodeID for logs.
 func (n NodeID) String() string {
 	if n == Broadcast {
 		return "bcast"
 	}
-	return fmt.Sprintf("n%d", uint16(n))
+	return fmt.Sprintf("n%d", uint32(n))
 }
 
 // Kind discriminates message types on the wire.
@@ -132,9 +138,11 @@ func (c Class) String() string {
 	}
 }
 
-// FrameOverhead is the fixed per-frame cost in bytes: destination
-// address (2), AM type (1), group (1), length (1) and CRC (2), matching
-// the TOS_Msg header the Mica-2 radio stack uses.
+// FrameOverhead is the fixed per-frame cost in bytes for a narrow
+// (sub-wideEscape) destination: destination address (2), AM type (1),
+// group (1), length (1) and CRC (2), matching the TOS_Msg header the
+// Mica-2 radio stack uses. A wide destination address adds
+// wideExtraBytes; see appendNodeID.
 const FrameOverhead = 7
 
 // Packet is a decodable protocol message.
@@ -155,7 +163,7 @@ type Packet interface {
 // WireSize returns the number of bytes the packet occupies on air,
 // driving both airtime and energy accounting.
 func WireSize(p Packet) int {
-	return FrameOverhead + len(p.appendPayload(nil))
+	return nodeIDWireSize(p.Dest()) + 5 + len(p.appendPayload(nil))
 }
 
 // Encode serializes p into a self-describing frame.
@@ -166,12 +174,13 @@ func Encode(p Packet) []byte { return AppendEncode(nil, p) }
 // each transmission into a pooled buffer without allocating.
 func AppendEncode(dst []byte, p Packet) []byte {
 	start := len(dst)
-	dst = binary.BigEndian.AppendUint16(dst, uint16(p.Dest()))
+	dst = appendNodeID(dst, p.Dest())
 	dst = append(dst, byte(p.Kind()))
 	dst = append(dst, 0x7d) // group, fixed
 	dst = append(dst, 0)    // payload length, patched below
+	lenAt := len(dst) - 1
 	dst = p.appendPayload(dst)
-	dst[start+4] = byte(len(dst) - start - 5)
+	dst[lenAt] = byte(len(dst) - lenAt - 1)
 	return binary.BigEndian.AppendUint16(dst, crc16(dst[start:]))
 }
 
@@ -188,6 +197,12 @@ func Decode(frame []byte) (Packet, error) { return decode(frame, true) }
 func DecodeTrusted(frame []byte) (Packet, error) { return decode(frame, false) }
 
 func decode(frame []byte, verifyCRC bool) (Packet, error) {
+	return decodeWith(nil, frame, verifyCRC)
+}
+
+// decodeWith parses a frame, taking the message struct from cache when
+// one is supplied (see DecodeCache) and from newByKind otherwise.
+func decodeWith(cache *DecodeCache, frame []byte, verifyCRC bool) (Packet, error) {
 	if len(frame) < FrameOverhead {
 		return nil, fmt.Errorf("packet: frame too short (%d bytes)", len(frame))
 	}
@@ -197,16 +212,28 @@ func decode(frame []byte, verifyCRC bool) (Packet, error) {
 			return nil, fmt.Errorf("packet: CRC mismatch (got %#04x, want %#04x)", got, want)
 		}
 	}
-	kind := Kind(frame[2])
-	plen := int(frame[4])
-	if len(frame) != FrameOverhead+plen {
+	_, destLen, err := readNodeID(frame)
+	if err != nil {
+		return nil, fmt.Errorf("packet: bad destination address: %w", err)
+	}
+	if len(frame) < destLen+5 {
+		return nil, fmt.Errorf("packet: frame too short (%d bytes)", len(frame))
+	}
+	kind := Kind(frame[destLen])
+	plen := int(frame[destLen+2])
+	if len(frame) != destLen+5+plen {
 		return nil, fmt.Errorf("packet: length field %d disagrees with frame size %d", plen, len(frame))
 	}
-	p, err := newByKind(kind)
+	var p Packet
+	if cache != nil {
+		p, err = cache.forKind(kind)
+	} else {
+		p, err = newByKind(kind)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if err := p.decodePayload(frame[5 : 5+plen]); err != nil {
+	if err := p.decodePayload(frame[destLen+3 : destLen+3+plen]); err != nil {
 		return nil, fmt.Errorf("packet: decode %s: %w", kind, err)
 	}
 	return p, nil

@@ -29,8 +29,9 @@ func cacheLayouts(t *testing.T) []*topology.Layout {
 }
 
 // Property: for every layout shape and every configured power level,
-// the medium's cached neighbor lists and audibility bit sets agree
-// exactly with a brute-force topology.Within query.
+// the sparse per-source link rows agree exactly — membership, order,
+// and BER values — with a brute-force O(n²) reference built from the
+// dense distance matrix.
 func TestCachedNeighborsMatchBruteForce(t *testing.T) {
 	params := DefaultParams()
 	for _, layout := range cacheLayouts(t) {
@@ -38,11 +39,8 @@ func TestCachedNeighborsMatchBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		dist := layout.DistanceMatrix()
 		for power, rangeFt := range params.TxRangeFeet {
-			tab, err := m.geo.table(power)
-			if err != nil {
-				t.Fatal(err)
-			}
 			for id := 0; id < layout.N(); id++ {
 				want := layout.Within(packet.NodeID(id), rangeFt)
 				got, err := m.Neighbors(packet.NodeID(id), power)
@@ -50,7 +48,7 @@ func TestCachedNeighborsMatchBruteForce(t *testing.T) {
 					t.Fatal(err)
 				}
 				if len(got) != len(want) {
-					t.Fatalf("%s power %d node %d: cached %d neighbors, brute force %d",
+					t.Fatalf("%s power %d node %d: sparse %d neighbors, brute force %d",
 						layout.Name(), power, id, len(got), len(want))
 				}
 				for i := range want {
@@ -59,33 +57,71 @@ func TestCachedNeighborsMatchBruteForce(t *testing.T) {
 							layout.Name(), power, id, i, got[i], want[i])
 					}
 				}
-				// The bit set must encode exactly the same membership.
-				set := tab.sets[id]
-				if set.Count() != len(want) {
-					t.Fatalf("%s power %d node %d: set has %d members, want %d",
-						layout.Name(), power, id, set.Count(), len(want))
+				// The BER row must match a fresh evaluation against the
+				// dense matrix distance.
+				row, err := m.linkRowFor(power, packet.NodeID(id))
+				if err != nil {
+					t.Fatal(err)
 				}
-				inWant := make(map[packet.NodeID]bool, len(want))
-				for _, w := range want {
-					inWant[w] = true
-				}
-				for other := 0; other < layout.N(); other++ {
-					if set.Contains(other) != inWant[packet.NodeID(other)] {
-						t.Fatalf("%s power %d node %d: set.Contains(%d) = %v, want %v",
-							layout.Name(), power, id, other, set.Contains(other), inWant[packet.NodeID(other)])
-					}
-				}
-				// And the cached BER row must match a fresh evaluation.
-				dist := layout.DistanceMatrix()
 				for i, nb := range want {
 					fresh := m.geo.linkBER(packet.NodeID(id), nb, dist[id*layout.N()+int(nb)], rangeFt)
-					if tab.ber[id][i] != fresh {
-						t.Fatalf("%s power %d link %d->%v: cached BER %g, fresh %g",
-							layout.Name(), power, id, nb, tab.ber[id][i], fresh)
+					if row.ber[i] != fresh {
+						t.Fatalf("%s power %d link %d->%v: sparse BER %g, fresh %g",
+							layout.Name(), power, id, nb, row.ber[i], fresh)
 					}
 				}
 			}
 		}
+	}
+}
+
+// A bounded cache must evict down to its cap, and a rebuilt row must be
+// identical to the evicted one — cache state is a pure speed/memory
+// trade-off.
+func TestLinkCacheEvictionIsInvisible(t *testing.T) {
+	layout, err := topology.Grid(5, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.LinkCacheSources = 3
+	m, err := NewMedium(sim.New(1), layout, p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make(map[packet.NodeID][]packet.NodeID)
+	firstBER := make(map[packet.NodeID][]float64)
+	for id := 0; id < layout.N(); id++ {
+		row, err := m.linkRowFor(PowerSim, packet.NodeID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[packet.NodeID(id)] = row.full
+		firstBER[packet.NodeID(id)] = row.ber
+		if _, _, entries := m.CacheStats(); entries > 3 {
+			t.Fatalf("cache holds %d rows, cap 3", entries)
+		}
+	}
+	// Every early row has been evicted by now; rebuilding must
+	// reproduce it exactly.
+	for id := 0; id < layout.N(); id++ {
+		row, err := m.linkRowFor(PowerSim, packet.NodeID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantBER := first[packet.NodeID(id)], firstBER[packet.NodeID(id)]
+		if len(row.full) != len(want) {
+			t.Fatalf("node %d: rebuilt row has %d neighbors, want %d", id, len(row.full), len(want))
+		}
+		for i := range want {
+			if row.full[i] != want[i] || row.ber[i] != wantBER[i] {
+				t.Fatalf("node %d: rebuilt row differs at %d", id, i)
+			}
+		}
+	}
+	hits, misses, _ := m.CacheStats()
+	if misses <= uint64(layout.N()) {
+		t.Fatalf("expected rebuild misses, got %d misses / %d hits", misses, hits)
 	}
 }
 

@@ -7,19 +7,26 @@
 // each other's carrier-sense range colliding at a node between them —
 // falls out of the model rather than being special-cased.
 //
-// Geometry and transmit ranges are immutable for a run, so the medium
-// precomputes, per power level, every node's audible neighbor list,
-// audibility bit set, and directed link BER at first use (the way
-// TOSSIM precomputes its link tables). The per-frame hot path then
-// does no position lookups, no distance math, and no per-frame
-// allocation: transmissions are recycled through a free list and
-// collision marking works on pooled bit sets.
+// Geometry and transmit ranges are immutable for a run, but unlike the
+// dense TOSSIM tables the channel never materializes an N×N matrix:
+// node positions go into a uniform grid hash (cell edge = the maximum
+// radio range), and the audible neighbor list plus directed link BERs
+// for one (power, source) pair are built on first transmission and kept
+// in a bounded per-medium LRU cache. Everything is derived from pure
+// functions of (layout, params, seed) — in particular the per-link
+// asymmetry noise is a hash of (seed, src, dst), never of construction
+// order — so the sparse channel is byte-identical to the dense one it
+// replaced while memory and startup scale with the number of in-range
+// links instead of N². The per-frame hot path does no per-frame
+// allocation: transmissions are recycled through a free list, collision
+// marking works on pooled bit sets indexed by audible-list position,
+// and frames decode through a per-medium reuse cache.
 package radio
 
 import (
 	"fmt"
 	"math"
-	"sync"
+	"slices"
 	"time"
 
 	"mnp/internal/bitvec"
@@ -51,7 +58,19 @@ type Params struct {
 	// instead of both being lost. Zero disables capture (every overlap
 	// corrupts both frames, the conservative default).
 	CaptureRatio float64
+	// LinkCacheSources bounds how many (power, source) link rows each
+	// medium keeps cached; once full, the least recently transmitting
+	// source's row is recomputed on its next frame. Zero selects the
+	// default. Purely a memory/speed trade-off — cache hits and misses
+	// produce identical behavior.
+	LinkCacheSources int
 }
+
+// defaultLinkCacheSources caps the per-medium link cache when Params
+// leaves LinkCacheSources zero. At a typical degree of tens of
+// neighbors this is a few tens of megabytes — small next to the node
+// state of a deployment large enough to fill it.
+const defaultLinkCacheSources = 1 << 16
 
 // DefaultParams returns the Mica-2 model used by the experiments.
 func DefaultParams() Params {
@@ -129,60 +148,79 @@ type nodeState struct {
 	destroyed bool
 }
 
-// transmission is one frame in the air. audible, audSet, and ber are
-// borrowed read-only from the power table; frame and corrupted are
-// owned and recycled with the transmission through the medium's free
-// list.
+// transmission is one frame in the air. full, ber, and deliver are
+// borrowed read-only from the medium's link cache; frame and corrupted
+// are owned and recycled with the transmission through the free list.
+// corrupted is indexed by POSITION in full, not by node ID, so its
+// capacity follows the transmitter's degree instead of the network
+// size.
 type transmission struct {
-	src       packet.NodeID
-	kind      packet.Kind
-	bytes     int
-	start     time.Duration
-	end       time.Duration
-	frame     []byte
-	audible   []packet.NodeID
-	audSet    *bitvec.Set
-	ber       []float64
+	src   packet.NodeID
+	kind  packet.Kind
+	bytes int
+	start time.Duration
+	end   time.Duration
+	frame []byte
+	// full lists every audible receiver in ascending ID order; ber is
+	// aligned with it.
+	full []packet.NodeID
+	ber  []float64
+	// deliver indexes into full the receivers this medium owns and so
+	// delivers to; nil means all of them (the unsharded case).
+	deliver []int32
+	// rangeFt is the transmit range of this frame's power level, for
+	// the O(1) disjointness prefilter in collide.
+	rangeFt   float64
 	corrupted *bitvec.Set
 	// finishFn is the end-of-frame callback, bound once per pooled
 	// transmission so scheduling it never allocates a closure.
 	finishFn func()
 }
 
-func (t *transmission) isAudible(id packet.NodeID) bool { return t.audSet.Contains(int(id)) }
+// posOf returns id's position in the full audible list, or -1.
+func (t *transmission) posOf(id packet.NodeID) int {
+	if i, ok := slices.BinarySearch(t.full, id); ok {
+		return i
+	}
+	return -1
+}
 
-// powerTable is the precomputed channel geometry for one power level:
-// per-source audible neighbor lists (ascending ID, exactly
-// topology.Within), the same sets in bit-set form for O(1) membership
-// tests, and the directed link BERs, which depend only on (src, dst,
-// distance, range, seed).
-type powerTable struct {
-	rangeFt float64
-	neigh   [][]packet.NodeID
-	sets    []*bitvec.Set
-	ber     [][]float64
+func (t *transmission) isAudible(id packet.NodeID) bool { return t.posOf(id) >= 0 }
+
+// deliverLen returns how many receivers this medium delivers to.
+func (t *transmission) deliverLen() int {
+	if t.deliver == nil {
+		return len(t.full)
+	}
+	return len(t.deliver)
+}
+
+// deliverPos maps a delivery slot to its position in full.
+func (t *transmission) deliverPos(i int) int {
+	if t.deliver == nil {
+		return i
+	}
+	return int(t.deliver[i])
 }
 
 // Geometry is the immutable part of a channel: node positions, the
-// distance matrix, the model parameters, and the per-power link tables.
-// It depends only on (layout, params, seed), never on event order, so
-// the sharded engine builds one Geometry and shares it read-only across
-// every shard's Medium instead of paying K times the O(N²) distance
-// matrix and table memory. Table construction is lazy and guarded by a
-// mutex; everything built is immutable afterwards.
+// spatial index over them, and the model parameters. It depends only on
+// (layout, params, seed), never on event order, so the sharded engine
+// builds one Geometry and shares it read-only across every shard's
+// Medium. All methods are pure and safe for concurrent use; the mutable
+// per-source link cache lives in each Medium.
 type Geometry struct {
 	layout *topology.Layout
 	params Params
 	seed   int64
 	n      int
-	dist   []float64 // row-major N×N, from the layout
-
-	mu     sync.RWMutex
-	tables map[int]*powerTable // lazily built per power level
+	pts    []topology.Point // layout's backing points, read-only
+	index  *topology.Index  // grid hash, cell edge = max radio range
 }
 
-// NewGeometry validates the channel model and precomputes the distance
-// matrix. seed drives the per-link asymmetry noise.
+// NewGeometry validates the channel model and builds the spatial index
+// (O(N), unlike the O(N²) distance matrix it replaced). seed drives the
+// per-link asymmetry noise.
 func NewGeometry(layout *topology.Layout, p Params, seed int64) (*Geometry, error) {
 	if layout == nil {
 		return nil, fmt.Errorf("radio: nil layout")
@@ -193,13 +231,26 @@ func NewGeometry(layout *topology.Layout, p Params, seed int64) (*Geometry, erro
 	if p.BERFloor < 0 || p.BERCeil <= p.BERFloor || p.BERCeil >= 1 {
 		return nil, fmt.Errorf("radio: BER bounds [%g, %g] invalid", p.BERFloor, p.BERCeil)
 	}
+	cell := 0.0
+	for _, r := range p.TxRangeFeet {
+		if r > cell {
+			cell = r
+		}
+	}
+	if cell <= 0 {
+		cell = 1 // no transmit ranges configured: nothing will query
+	}
+	index, err := topology.NewIndex(layout, cell)
+	if err != nil {
+		return nil, fmt.Errorf("radio: %w", err)
+	}
 	return &Geometry{
 		layout: layout,
 		params: p,
 		seed:   seed,
 		n:      layout.N(),
-		dist:   layout.DistanceMatrix(),
-		tables: make(map[int]*powerTable),
+		pts:    layout.Points(),
+		index:  index,
 	}, nil
 }
 
@@ -219,59 +270,66 @@ func (g *Geometry) RangeFor(power int) (float64, error) {
 	return r, nil
 }
 
-// table returns the precomputed geometry for a power level, building it
-// on first use. Construction is deterministic, so when (and on which
-// shard) a table is built has no observable effect.
-func (g *Geometry) table(power int) (*powerTable, error) {
-	g.mu.RLock()
-	t, ok := g.tables[power]
-	g.mu.RUnlock()
-	if ok {
-		return t, nil
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if t, ok := g.tables[power]; ok {
-		return t, nil
-	}
-	rng, err := g.RangeFor(power)
-	if err != nil {
-		return nil, err
-	}
-	t = &powerTable{
-		rangeFt: rng,
-		neigh:   make([][]packet.NodeID, g.n),
-		sets:    make([]*bitvec.Set, g.n),
-		ber:     make([][]float64, g.n),
-	}
-	for src := 0; src < g.n; src++ {
-		row := g.dist[src*g.n : (src+1)*g.n]
-		set := bitvec.NewSet(g.n)
-		var ids []packet.NodeID
-		var bers []float64
-		for dst := 0; dst < g.n; dst++ {
-			if dst == src || row[dst] > rng {
-				continue
-			}
-			ids = append(ids, packet.NodeID(dst))
-			bers = append(bers, g.linkBER(packet.NodeID(src), packet.NodeID(dst), row[dst], rng))
-			set.Add(dst)
-		}
-		t.neigh[src], t.sets[src], t.ber[src] = ids, set, bers
-	}
-	g.tables[power] = t
-	return t, nil
+// Footprint returns the resident bytes of the geometry: the position
+// slice plus the spatial index. With the dense tables gone this is the
+// whole per-run channel cost outside the per-medium link cache, and it
+// scales linearly with N.
+func (g *Geometry) Footprint() uint64 {
+	return uint64(len(g.pts))*16 + g.index.Footprint()
 }
 
-// shardTable is one shard's view of a power level: per-source receiver
-// sublists restricted to the nodes the shard owns (delivery never
-// crosses a shard boundary directly), plus a per-owned-source flag
-// marking transmissions that reach nodes owned elsewhere and so must be
-// exported as ghosts at the next window barrier.
-type shardTable struct {
-	neigh    [][]packet.NodeID // audible receivers owned by this shard
-	ber      [][]float64
-	boundary []bool // per src: some audible node is owned elsewhere
+// computeLinks materializes the audible neighbor list and directed link
+// BERs for one (power, src) pair: exactly the row the dense per-power
+// table used to hold, built from the spatial index in O(degree). Pure
+// and safe for concurrent use; results depend only on (layout, params,
+// seed).
+func (g *Geometry) computeLinks(power int, src packet.NodeID) ([]packet.NodeID, []float64, error) {
+	rng, err := g.RangeFor(power)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := g.index.AppendWithin(src, rng, nil)
+	if len(ids) == 0 {
+		return nil, nil, nil
+	}
+	ber := make([]float64, len(ids))
+	p := g.pts[src]
+	for i, dst := range ids {
+		ber[i] = g.linkBER(src, dst, p.Distance(g.pts[dst]), rng)
+	}
+	return ids, ber, nil
+}
+
+// distance returns the exact link distance between two nodes — the same
+// float the dense distance matrix held, since Hypot is symmetric.
+func (g *Geometry) distance(a, b packet.NodeID) float64 {
+	return g.pts[a].Distance(g.pts[b])
+}
+
+// linkKey identifies one cached link row.
+type linkKey struct {
+	power int
+	src   packet.NodeID
+}
+
+// linkRow is the materialized channel state for one (power, source)
+// pair: the full audible list with aligned BERs, plus this medium's
+// delivery view of it. Rows are immutable once built; eviction just
+// drops the cache's reference, so in-flight transmissions still
+// borrowing the slices stay valid.
+type linkRow struct {
+	key     linkKey
+	full    []packet.NodeID
+	ber     []float64
+	rangeFt float64
+	// deliver indexes the receivers this medium owns; nil = all
+	// (unsharded).
+	deliver []int32
+	// boundary marks that some audible receiver is owned by another
+	// shard, so frames from this source must be exported as ghosts.
+	boundary bool
+
+	prev, next *linkRow // LRU list, most recent at head
 }
 
 // Medium is the shared wireless channel. It is driven entirely by the
@@ -289,13 +347,24 @@ type Medium struct {
 	n      int
 	freeTx []*transmission
 
+	// links is the bounded LRU cache of per-(power, src) rows. Each
+	// medium has its own, so shards never contend on a shared table.
+	links                  map[linkKey]*linkRow
+	lruHead, lruTail       *linkRow
+	lruCap                 int
+	cacheHits, cacheMisses uint64
+
+	// dec reuses one decoded message per kind across frame deliveries;
+	// handlers treat incoming packets as read-only and copy at the
+	// storage boundary, so reuse is invisible to them.
+	dec packet.DecodeCache
+
 	// owned flags the nodes this Medium simulates; nil (the sequential
 	// case) means all of them. Handlers, radio state, and deliveries
 	// exist only for owned nodes.
-	owned     []bool
-	shardTabs map[int]*shardTable // lazily built per power level
-	outbox    []Ghost
-	ghostSeq  uint64
+	owned    []bool
+	outbox   []Ghost
+	ghostSeq uint64
 
 	// tap, when set, observes every transmitted frame in decoded form
 	// (invariant checkers need packet contents, which TrafficSink
@@ -365,6 +434,11 @@ func NewShardMedium(k *sim.Kernel, geo *Geometry, owned []packet.NodeID) (*Mediu
 		nodes:  make([]nodeState, geo.n),
 		sink:   NopSink{},
 		n:      geo.n,
+		links:  make(map[linkKey]*linkRow),
+		lruCap: geo.params.LinkCacheSources,
+	}
+	if m.lruCap <= 0 {
+		m.lruCap = defaultLinkCacheSources
 	}
 	if owned != nil {
 		m.owned = make([]bool, geo.n)
@@ -374,7 +448,6 @@ func NewShardMedium(k *sim.Kernel, geo *Geometry, owned []packet.NodeID) (*Mediu
 			}
 			m.owned[id] = true
 		}
-		m.shardTabs = make(map[int]*shardTable)
 	}
 	return m, nil
 }
@@ -382,33 +455,81 @@ func NewShardMedium(k *sim.Kernel, geo *Geometry, owned []packet.NodeID) (*Mediu
 // Geometry returns the shared immutable channel geometry.
 func (m *Medium) Geometry() *Geometry { return m.geo }
 
-// shardTable returns this shard's view of a power level, building it on
-// first use from the shared full table.
-func (m *Medium) shardTable(power int, tab *powerTable) *shardTable {
-	if st, ok := m.shardTabs[power]; ok {
-		return st
+// CacheStats reports link-cache hits, misses, and resident rows since
+// the medium was built — a diagnostic for sizing LinkCacheSources.
+func (m *Medium) CacheStats() (hits, misses uint64, entries int) {
+	return m.cacheHits, m.cacheMisses, len(m.links)
+}
+
+// linkRowFor returns the cached link row for (power, src), building it
+// from the geometry on a miss and evicting the least recently used row
+// beyond the cache bound. Cache state never affects behavior: a rebuilt
+// row is identical to the evicted one.
+func (m *Medium) linkRowFor(power int, src packet.NodeID) (*linkRow, error) {
+	key := linkKey{power: power, src: src}
+	if row, ok := m.links[key]; ok {
+		m.cacheHits++
+		m.lruMoveFront(row)
+		return row, nil
 	}
-	st := &shardTable{
-		neigh:    make([][]packet.NodeID, m.n),
-		ber:      make([][]float64, m.n),
-		boundary: make([]bool, m.n),
+	full, ber, err := m.geo.computeLinks(power, src)
+	if err != nil {
+		return nil, err
 	}
-	for src := 0; src < m.n; src++ {
-		full := tab.neigh[src]
-		var ids []packet.NodeID
-		var bers []float64
+	m.cacheMisses++
+	rangeFt, _ := m.geo.RangeFor(power) // computeLinks already validated power
+	row := &linkRow{key: key, full: full, ber: ber, rangeFt: rangeFt}
+	if m.owned != nil {
+		row.deliver = make([]int32, 0, len(full))
 		for i, dst := range full {
 			if m.owned[dst] {
-				ids = append(ids, dst)
-				bers = append(bers, tab.ber[src][i])
+				row.deliver = append(row.deliver, int32(i))
 			} else {
-				st.boundary[src] = true
+				row.boundary = true
 			}
 		}
-		st.neigh[src], st.ber[src] = ids, bers
 	}
-	m.shardTabs[power] = st
-	return st
+	m.links[key] = row
+	m.lruPushFront(row)
+	for len(m.links) > m.lruCap {
+		evict := m.lruTail
+		m.lruUnlink(evict)
+		delete(m.links, evict.key)
+	}
+	return row, nil
+}
+
+func (m *Medium) lruPushFront(row *linkRow) {
+	row.prev, row.next = nil, m.lruHead
+	if m.lruHead != nil {
+		m.lruHead.prev = row
+	}
+	m.lruHead = row
+	if m.lruTail == nil {
+		m.lruTail = row
+	}
+}
+
+func (m *Medium) lruUnlink(row *linkRow) {
+	if row.prev != nil {
+		row.prev.next = row.next
+	} else {
+		m.lruHead = row.next
+	}
+	if row.next != nil {
+		row.next.prev = row.prev
+	} else {
+		m.lruTail = row.prev
+	}
+	row.prev, row.next = nil, nil
+}
+
+func (m *Medium) lruMoveFront(row *linkRow) {
+	if m.lruHead == row {
+		return
+	}
+	m.lruUnlink(row)
+	m.lruPushFront(row)
 }
 
 // SetSink installs the traffic observer.
@@ -497,19 +618,25 @@ func (m *Medium) Transmitting(id packet.NodeID) bool {
 // Neighbors returns the nodes within the transmission range of id at
 // the given power level. The returned slice is the caller's to keep.
 func (m *Medium) Neighbors(id packet.NodeID, power int) ([]packet.NodeID, error) {
-	tab, err := m.geo.table(power)
-	if err != nil {
+	if _, err := m.geo.RangeFor(power); err != nil {
 		return nil, err
 	}
 	if int(id) >= m.n {
 		return nil, nil
 	}
-	return append([]packet.NodeID(nil), tab.neigh[id]...), nil
+	row, err := m.linkRowFor(power, id)
+	if err != nil {
+		return nil, err
+	}
+	if len(row.full) == 0 {
+		return nil, nil
+	}
+	return append([]packet.NodeID(nil), row.full...), nil
 }
 
 // newTransmission takes a transmission from the free list, or grows the
-// pool. Its corrupted set comes back empty; borrowed table references
-// are overwritten by the caller.
+// pool. The caller assigns the borrowed row references and sizes the
+// collision set.
 func (m *Medium) newTransmission() *transmission {
 	if n := len(m.freeTx); n > 0 {
 		t := m.freeTx[n-1]
@@ -517,17 +644,65 @@ func (m *Medium) newTransmission() *transmission {
 		m.freeTx = m.freeTx[:n-1]
 		return t
 	}
-	t := &transmission{corrupted: bitvec.NewSet(m.n)}
+	t := &transmission{corrupted: &bitvec.Set{}}
 	t.finishFn = func() { m.finish(t) }
 	return t
 }
 
 // recycle returns a finished transmission to the free list, dropping
-// the borrowed table references and clearing the collision set.
+// the borrowed row references. The collision set is re-dimensioned (and
+// thereby cleared) at next use.
 func (m *Medium) recycle(t *transmission) {
-	t.audible, t.audSet, t.ber = nil, nil, nil
-	t.corrupted.Reset()
+	t.full, t.ber, t.deliver = nil, nil, nil
 	m.freeTx = append(m.freeTx, t)
+}
+
+// markMutualCorruption merges the overlap of two frames into both
+// collision sets: every receiver audible to both transmitters loses
+// both frames. A single merge-walk of the two sorted audible lists
+// replaces the dense word-wise set intersection.
+func markMutualCorruption(t, u *transmission) {
+	i, j := 0, 0
+	for i < len(t.full) && j < len(u.full) {
+		a, b := t.full[i], u.full[j]
+		switch {
+		case a == b:
+			t.corrupted.Add(i)
+			u.corrupted.Add(j)
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// collide applies the collision semantics between a new transmission t
+// and an active one u: mutual corruption at common receivers (or the
+// capture rule), plus frame loss at the transmitters themselves.
+func (m *Medium) collide(t, u *transmission) {
+	// Transmitters farther apart than the sum of their ranges share no
+	// audible receiver and cannot hear each other: every marking below
+	// would be a no-op, so skip the list walks entirely. At scale this
+	// makes concurrent far-apart transmissions O(1) to reconcile.
+	if m.geo.distance(t.src, u.src) > t.rangeFt+u.rangeFt {
+		return
+	}
+	if m.geo.params.CaptureRatio > 0 {
+		m.resolveWithCapture(t, u)
+	} else {
+		markMutualCorruption(t, u)
+	}
+	// A frame arriving at an active transmitter is lost there, and the
+	// new frame is garbled at the other transmitter too.
+	if ui := u.posOf(t.src); ui >= 0 {
+		u.corrupted.Add(ui)
+	}
+	if ti := t.posOf(u.src); ti >= 0 {
+		t.corrupted.Add(ti)
+	}
 }
 
 // Transmit broadcasts pkt from src at the given power level and
@@ -546,13 +721,9 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 	if st.everTx && st.txEnd > now {
 		return 0, fmt.Errorf("radio: node %v already transmitting", src)
 	}
-	tab, err := m.geo.table(power)
+	row, err := m.linkRowFor(power, src)
 	if err != nil {
 		return 0, err
-	}
-	var stab *shardTable
-	if m.owned != nil {
-		stab = m.shardTable(power, tab)
 	}
 	t := m.newTransmission()
 	t.frame = packet.AppendEncode(t.frame[:0], pkt)
@@ -562,18 +733,15 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 	t.bytes = len(t.frame)
 	t.start = now
 	t.end = now + air
-	if stab != nil {
-		// Deliveries stay within the shard; nodes owned elsewhere hear
-		// this frame as a ghost after the next window barrier. The full-
-		// width audSet is kept so collision footprints (and Busy) are
-		// computed over the whole neighborhood either way.
-		t.audible = stab.neigh[src]
-		t.ber = stab.ber[src]
-	} else {
-		t.audible = tab.neigh[src]
-		t.ber = tab.ber[src]
-	}
-	t.audSet = tab.sets[src]
+	// Deliveries stay within the shard (row.deliver); nodes owned
+	// elsewhere hear this frame as a ghost after the next window
+	// barrier. The full audible list is kept either way so collision
+	// footprints and Busy cover the whole neighborhood.
+	t.full = row.full
+	t.ber = row.ber
+	t.deliver = row.deliver
+	t.rangeFt = row.rangeFt
+	t.corrupted.ResetCap(len(row.full))
 	// Overlapping audible frames corrupt each other at the common
 	// receivers (this includes the hidden-terminal case), unless the
 	// capture effect lets the markedly stronger frame survive.
@@ -581,23 +749,7 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 		if u.end <= now {
 			continue
 		}
-		if m.geo.params.CaptureRatio > 0 {
-			m.resolveWithCapture(t, u)
-		} else {
-			// Without capture every common receiver loses both frames:
-			// fold the audibility intersection into both collision sets
-			// a word at a time.
-			t.corrupted.OrIntersection(t.audSet, u.audSet)
-			u.corrupted.OrIntersection(t.audSet, u.audSet)
-		}
-		// A frame arriving at an active transmitter is lost there, and
-		// the new frame is garbled at the other transmitter too.
-		if u.isAudible(src) {
-			u.corrupted.Add(int(src))
-		}
-		if t.isAudible(u.src) {
-			t.corrupted.Add(int(u.src))
-		}
+		m.collide(t, u)
 	}
 
 	st.txStart = now
@@ -608,7 +760,7 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 	if m.tap != nil {
 		m.tap(src, pkt, air)
 	}
-	if stab != nil && stab.boundary[src] {
+	if row.boundary {
 		m.outbox = append(m.outbox, Ghost{
 			Src:   src,
 			Kind:  t.kind,
@@ -648,12 +800,11 @@ func (m *Medium) InsertGhost(g Ghost) error {
 	if int(g.Src) >= m.n || m.owned[g.Src] {
 		return fmt.Errorf("radio: ghost source %v is owned by this shard", g.Src)
 	}
-	tab, err := m.geo.table(g.Power)
+	row, err := m.linkRowFor(g.Power, g.Src)
 	if err != nil {
 		return err
 	}
-	stab := m.shardTable(g.Power, tab)
-	if len(stab.neigh[g.Src]) == 0 {
+	if len(row.deliver) == 0 {
 		return nil // inaudible here: no receiver and no carrier to sense
 	}
 	t := m.newTransmission()
@@ -663,27 +814,18 @@ func (m *Medium) InsertGhost(g Ghost) error {
 	t.bytes = len(t.frame)
 	t.start = g.Start
 	t.end = g.End
-	t.audible = stab.neigh[g.Src]
-	t.ber = stab.ber[g.Src]
-	t.audSet = tab.sets[g.Src]
+	t.full = row.full
+	t.ber = row.ber
+	t.deliver = row.deliver
+	t.rangeFt = row.rangeFt
+	t.corrupted.ResetCap(len(row.full))
 	// Unlike Transmit (whose frames always start "now"), a ghost starts
 	// in the previous window, so overlap is a general interval test.
 	for _, u := range m.active {
 		if u.end <= t.start || u.start >= t.end {
 			continue
 		}
-		if m.geo.params.CaptureRatio > 0 {
-			m.resolveWithCapture(t, u)
-		} else {
-			t.corrupted.OrIntersection(t.audSet, u.audSet)
-			u.corrupted.OrIntersection(t.audSet, u.audSet)
-		}
-		if u.isAudible(t.src) {
-			u.corrupted.Add(int(t.src))
-		}
-		if t.isAudible(u.src) {
-			t.corrupted.Add(int(u.src))
-		}
+		m.collide(t, u)
 	}
 	m.active = append(m.active, t)
 	if _, err := m.kernel.ScheduleAt(t.end, t.finishFn); err != nil {
@@ -693,24 +835,29 @@ func (m *Medium) InsertGhost(g Ghost) error {
 }
 
 // resolveWithCapture applies the per-receiver capture rule between a
-// new transmission t and an active one u.
+// new transmission t and an active one u, walking t's delivery view
+// (all audible receivers when unsharded) exactly as the dense model
+// did.
 func (m *Medium) resolveWithCapture(t, u *transmission) {
-	for _, r := range t.audible {
-		if !u.isAudible(r) {
+	for di, nd := 0, t.deliverLen(); di < nd; di++ {
+		fi := t.deliverPos(di)
+		r := t.full[fi]
+		ui := u.posOf(r)
+		if ui < 0 {
 			continue
 		}
-		dt := m.geo.dist[int(r)*m.n+int(t.src)]
-		du := m.geo.dist[int(r)*m.n+int(u.src)]
+		dt := m.geo.distance(r, t.src)
+		du := m.geo.distance(r, u.src)
 		if dt <= m.geo.params.CaptureRatio*du {
-			u.corrupted.Add(int(r)) // t captures the receiver
+			u.corrupted.Add(ui) // t captures the receiver
 			continue
 		}
 		if du <= m.geo.params.CaptureRatio*dt {
-			t.corrupted.Add(int(r)) // u holds the receiver
+			t.corrupted.Add(fi) // u holds the receiver
 			continue
 		}
-		t.corrupted.Add(int(r))
-		u.corrupted.Add(int(r))
+		t.corrupted.Add(fi)
+		u.corrupted.Add(ui)
 	}
 }
 
@@ -722,13 +869,16 @@ func (m *Medium) finish(t *transmission) {
 			break
 		}
 	}
-	// The frame is decoded at most once and the decoded message shared
-	// by every receiver. Handlers treat incoming packets as read-only
-	// and every retained byte slice (payloads, bit vectors) is copied at
-	// the storage boundary, so sharing is indistinguishable from the
-	// per-receiver decode it replaced.
+	// The frame is decoded at most once per delivery pass, through the
+	// medium's reuse cache, and the decoded message shared by every
+	// receiver. Handlers treat incoming packets as read-only and every
+	// retained byte slice (payloads, bit vectors) is copied at the
+	// storage boundary, so sharing and reuse are indistinguishable from
+	// the per-receiver decode they replaced.
 	var decoded packet.Packet
-	for i, r := range t.audible {
+	for di, nd := 0, t.deliverLen(); di < nd; di++ {
+		fi := t.deliverPos(di)
+		r := t.full[fi]
 		st := &m.nodes[r]
 		if st.destroyed || !st.on || st.onSince > t.start {
 			continue // radio off for part of the frame
@@ -736,11 +886,11 @@ func (m *Medium) finish(t *transmission) {
 		if st.everTx && st.txEnd > t.start && st.txStart < t.end {
 			continue // half-duplex: was transmitting during the frame
 		}
-		if t.corrupted.Contains(int(r)) {
+		if t.corrupted.Contains(fi) {
 			m.sink.FrameCollided(r, t.src, t.kind)
 			continue
 		}
-		p := math.Pow(1-t.ber[i], float64(t.bytes*8))
+		p := math.Pow(1-t.ber[fi], float64(t.bytes*8))
 		if m.kernel.Rand().Float64() >= p {
 			continue // channel bit errors
 		}
@@ -752,7 +902,7 @@ func (m *Medium) finish(t *transmission) {
 		}
 		if decoded == nil {
 			var err error
-			decoded, err = packet.DecodeTrusted(t.frame)
+			decoded, err = m.dec.Decode(t.frame)
 			if err != nil {
 				// The frame was produced by Encode at transmit time;
 				// failing to decode it is an invariant violation, not a
@@ -772,8 +922,8 @@ func (m *Medium) finish(t *transmission) {
 // linkBER computes the directed link's bit-error rate: a floor near
 // the transmitter rising exponentially to BERCeil at the communication
 // range, times a stable per-directed-link lognormal factor. It depends
-// only on immutable run state, so the power tables evaluate it once per
-// directed link.
+// only on immutable run state, so sparse and dense construction orders
+// produce identical values.
 func (g *Geometry) linkBER(src, dst packet.NodeID, dist, txRange float64) float64 {
 	frac := dist / txRange
 	if frac > 1 {

@@ -124,6 +124,12 @@ func (l *Layout) Rows() int { return l.rows }
 // Cols returns the grid column count, or 0 for non-grid layouts.
 func (l *Layout) Cols() int { return l.cols }
 
+// Points returns the layout's backing point slice — node i sits at
+// Points()[i]. The slice is shared, not copied; callers must treat it
+// as read-only. The radio geometry uses it to compute link distances
+// on demand without the O(N²) distance matrix.
+func (l *Layout) Points() []Point { return l.points }
+
 // Pos returns the position of node id.
 func (l *Layout) Pos(id packet.NodeID) (Point, error) {
 	if int(id) >= len(l.points) {
@@ -177,19 +183,25 @@ func (l *Layout) DistanceMatrix() []float64 {
 // Within(id, radius).
 func (l *Layout) NeighborsWithin(radius float64) [][]packet.NodeID {
 	n := len(l.points)
-	dist := l.DistanceMatrix()
+	ix, err := NewIndex(l, indexCell(radius))
+	if err != nil {
+		return make([][]packet.NodeID, n)
+	}
 	out := make([][]packet.NodeID, n)
 	for a := 0; a < n; a++ {
-		row := dist[a*n : (a+1)*n]
-		var ids []packet.NodeID
-		for b := 0; b < n; b++ {
-			if b != a && row[b] <= radius {
-				ids = append(ids, packet.NodeID(b))
-			}
-		}
-		out[a] = ids
+		out[a] = ix.AppendWithin(packet.NodeID(a), radius, nil)
 	}
 	return out
+}
+
+// indexCell turns a query radius into a valid index cell size: the
+// radius itself when positive, a nominal edge otherwise (a non-positive
+// radius only ever matches coincident nodes, so any cell size works).
+func indexCell(radius float64) float64 {
+	if radius > 0 && !math.IsInf(radius, 0) {
+		return radius
+	}
+	return 1
 }
 
 // Within returns the IDs of all nodes other than id at distance <=
@@ -254,14 +266,20 @@ func (l *Layout) Connected(radius float64) bool {
 	if n == 0 {
 		return false
 	}
+	ix, err := NewIndex(l, indexCell(radius))
+	if err != nil {
+		return false
+	}
 	visited := make([]bool, n)
 	queue := []packet.NodeID{0}
 	visited[0] = true
 	seen := 1
+	var buf []packet.NodeID
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, nb := range l.Within(cur, radius) {
+		buf = ix.AppendWithin(cur, radius, buf[:0])
+		for _, nb := range buf {
 			if !visited[nb] {
 				visited[nb] = true
 				seen++

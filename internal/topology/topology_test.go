@@ -44,7 +44,9 @@ func TestGridRejectsBadArgs(t *testing.T) {
 		r, c int
 		s    float64
 	}{
-		{0, 5, 10}, {5, 0, 10}, {5, 5, 0}, {5, 5, -1}, {300, 300, 10},
+		// 65536×65537 nodes would need IDs past the 32-bit address
+		// space; the check fires before any allocation.
+		{0, 5, 10}, {5, 0, 10}, {5, 5, 0}, {5, 5, -1}, {65536, 65537, 10},
 	} {
 		if _, err := Grid(tt.r, tt.c, tt.s); err == nil {
 			t.Errorf("Grid(%d,%d,%g) accepted", tt.r, tt.c, tt.s)

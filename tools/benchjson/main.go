@@ -29,6 +29,27 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units (e.g. "geo-B" for the
+	// radio geometry's resident bytes) that the fixed fields above do
+	// not cover.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// MemMeasured records whether the line carried -benchmem fields at
+	// all, so a genuine "0 B/op" is distinguishable from an unmeasured
+	// run when building the summary.
+	MemMeasured bool `json:"-"`
+}
+
+// Summary condenses a run into the two series the history gates on:
+// allocation rate per benchmark and the geometry-memory curve. Keeping
+// them keyed and flat makes a regression diff between two history
+// entries a one-line jq, the same way ns_per_op already is.
+type Summary struct {
+	// BytesPerOp maps each -benchmem benchmark to its B/op, including
+	// explicit zeros — the steady-state-alloc gate.
+	BytesPerOp map[string]int64 `json:"bytes_per_op,omitempty"`
+	// GeometryBytes maps node count (the "n=<count>" sub-benchmark
+	// label) to the geometry's resident bytes from the geo-B metric.
+	GeometryBytes map[string]float64 `json:"geometry_bytes,omitempty"`
 }
 
 // Doc is one benchmark run.
@@ -37,6 +58,7 @@ type Doc struct {
 	Goarch  string   `json:"goarch,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
 	Results []Result `json:"results"`
+	Summary *Summary `json:"summary,omitempty"`
 }
 
 // Entry is one history element: a run stamped with its revision.
@@ -193,7 +215,41 @@ func parse(sc *bufio.Scanner) (*Doc, error) {
 	if len(doc.Results) == 0 {
 		return nil, fmt.Errorf("no benchmark lines found on stdin")
 	}
+	summarize(doc)
 	return doc, nil
+}
+
+// summarize derives the gating series from the parsed results; a run
+// with neither memory measurements nor geometry metrics keeps a nil
+// summary and an unchanged document shape.
+func summarize(doc *Doc) {
+	s := &Summary{}
+	for _, r := range doc.Results {
+		if r.MemMeasured {
+			if s.BytesPerOp == nil {
+				s.BytesPerOp = map[string]int64{}
+			}
+			s.BytesPerOp[r.Name] = r.BytesPerOp
+		}
+		if v, ok := r.Metrics["geo-B"]; ok {
+			if s.GeometryBytes == nil {
+				s.GeometryBytes = map[string]float64{}
+			}
+			s.GeometryBytes[seriesKey(r.Name)] = v
+		}
+	}
+	if s.BytesPerOp != nil || s.GeometryBytes != nil {
+		doc.Summary = s
+	}
+}
+
+// seriesKey reduces "BenchmarkGeometryBuild/n=250000" to "250000"; a
+// name without the n= convention keys the series verbatim.
+func seriesKey(name string) string {
+	if i := strings.LastIndex(name, "/n="); i >= 0 {
+		return name[i+3:]
+	}
+	return name
 }
 
 // parseLine handles one result line, e.g.
@@ -226,8 +282,17 @@ func parseLine(line string) (Result, bool) {
 			r.NsPerOp, _ = strconv.ParseFloat(val, 64)
 		case "B/op":
 			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			r.MemMeasured = true
 		case "allocs/op":
 			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		default:
+			// Custom b.ReportMetric units (geo-B, frames/sec, ...).
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = f
+			}
 		}
 	}
 	return r, true

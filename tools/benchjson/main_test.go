@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -28,14 +29,14 @@ func TestParseGolden(t *testing.T) {
 		t.Fatalf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
 	}
 	want := []Result{
-		{Name: "BenchmarkMediumTransmit/active=32", Iterations: 2000, NsPerOp: 36168, BytesPerOp: 8051, AllocsPerOp: 210},
+		{Name: "BenchmarkMediumTransmit/active=32", Iterations: 2000, NsPerOp: 36168, BytesPerOp: 8051, AllocsPerOp: 210, MemMeasured: true},
 		{Name: "BenchmarkKernelHeap", Iterations: 1000000, NsPerOp: 1042},
 	}
 	if len(doc.Results) != len(want) {
 		t.Fatalf("parsed %d results, want %d: %+v", len(doc.Results), len(want), doc.Results)
 	}
 	for i, w := range want {
-		if doc.Results[i] != w {
+		if !reflect.DeepEqual(doc.Results[i], w) {
 			t.Errorf("result %d = %+v, want %+v", i, doc.Results[i], w)
 		}
 	}
@@ -73,7 +74,12 @@ func TestEmitGolden(t *testing.T) {
       "bytes_per_op": 0,
       "allocs_per_op": 0
     }
-  ]
+  ],
+  "summary": {
+    "bytes_per_op": {
+      "BenchmarkMediumTransmit/active=32": 8051
+    }
+  }
 }
 `
 	if b.String() != golden {
@@ -187,9 +193,65 @@ func TestParseLineEdgeCases(t *testing.T) {
 	if _, ok := parseLine("BenchmarkShort 100"); ok {
 		t.Fatal("parseLine accepted a short line")
 	}
-	// Unknown units are ignored, known ones still land.
+	// Unknown units are captured as metrics; known ones still land.
 	r, ok = parseLine("BenchmarkMixed-4 10 7 ns/op 3 widgets/op 9 B/op")
 	if !ok || r.NsPerOp != 7 || r.BytesPerOp != 9 || r.Name != "BenchmarkMixed" {
 		t.Fatalf("parseLine = %+v", r)
+	}
+	if r.Metrics["widgets/op"] != 3 {
+		t.Fatalf("custom metric lost: %+v", r.Metrics)
+	}
+}
+
+// TestSummarySeries: -benchmem lines land in bytes_per_op (zeros
+// included — the steady-state-alloc gate) and geo-B metrics build the
+// node-count-keyed geometry-memory series.
+func TestSummarySeries(t *testing.T) {
+	const bench = `goos: linux
+BenchmarkMediumTransmit/active=1-8  100  370 ns/op  0 B/op  0 allocs/op
+BenchmarkGeometryBuild/n=1000-8     50   90000 ns/op  52000 geo-B  24576 B/op  9 allocs/op
+BenchmarkGeometryBuild/n=250000-8   2    21000000 ns/op  6500000 geo-B  5000000 B/op  11 allocs/op
+BenchmarkKernelHeap-8               1000 1042 ns/op
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(bench)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := doc.Summary
+	if s == nil {
+		t.Fatal("no summary built")
+	}
+	if got, ok := s.BytesPerOp["BenchmarkMediumTransmit/active=1"]; !ok || got != 0 {
+		t.Fatalf("zero-alloc benchmark missing from bytes_per_op: %+v (ok=%v)", s.BytesPerOp, ok)
+	}
+	if _, ok := s.BytesPerOp["BenchmarkKernelHeap"]; ok {
+		t.Fatalf("unmeasured benchmark leaked into bytes_per_op: %+v", s.BytesPerOp)
+	}
+	if s.GeometryBytes["1000"] != 52000 || s.GeometryBytes["250000"] != 6.5e6 {
+		t.Fatalf("geometry series = %+v", s.GeometryBytes)
+	}
+	if len(s.GeometryBytes) != 2 {
+		t.Fatalf("geometry series has extra keys: %+v", s.GeometryBytes)
+	}
+	// The summary survives the history round-trip keyed by SHA.
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	if err := appendHistory(path, Entry{SHA: "abc1234", Date: "2026-08-08", Doc: *doc}); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.History[0].Summary == nil || hist.History[0].Summary.GeometryBytes["250000"] != 6.5e6 {
+		t.Fatalf("summary lost in history: %+v", hist.History[0].Summary)
+	}
+}
+
+func TestSeriesKey(t *testing.T) {
+	if k := seriesKey("BenchmarkGeometryBuild/n=1000"); k != "1000" {
+		t.Fatalf("seriesKey = %q", k)
+	}
+	if k := seriesKey("BenchmarkOther"); k != "BenchmarkOther" {
+		t.Fatalf("seriesKey fallback = %q", k)
 	}
 }
