@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_sim.json
 
 FUZZTIME ?= 10s
 
-.PHONY: build test race race-short race-engine vet fuzz-short bench clean
+.PHONY: build test race race-short race-engine vet fuzz-short bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -23,13 +23,16 @@ race-short:
 	$(GO) test -race -short ./...
 
 # race-engine exercises the sharded lockstep engine under the race
-# detector: the engine and kernel-window unit tests, the sharded
-# experiment suite (sequential-vs-sharded equivalence at shards 1 and
-# 4, determinism with inline and parallel workers, sharded chaos), and
-# the sharded golden hash (shards=4, workers 1 and 4).
+# detector: the engine, tile-partition, and kernel-window unit tests,
+# the sharded experiment suite (sequential-vs-sharded equivalence at
+# shards 1 and 4, determinism with inline and parallel workers,
+# sharded chaos), the tiled suite (the grid x workers{1,2,4} x
+# repartitioning equivalence matrix, tiled chaos, repartition during
+# fault windows, observer-replay ordering under migration), and the
+# sharded golden hash (shards=4, workers 1 and 4).
 race-engine:
 	$(GO) test -race ./internal/engine/ ./internal/sim/
-	$(GO) test -race ./internal/experiment/ -run 'TestSetupValidate|TestSharded'
+	$(GO) test -race ./internal/experiment/ -run 'TestSetupValidate|TestSharded|TestTiled'
 	$(GO) test -race . -run 'TestShardedRunMatchesGolden'
 
 vet:
@@ -46,6 +49,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzRecordRoundTrip' -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz 'FuzzScenarioParse' -fuzztime $(FUZZTIME) ./internal/scenario/
 	$(GO) test -run '^$$' -fuzz 'FuzzGridIndex' -fuzztime $(FUZZTIME) ./internal/topology/
+	$(GO) test -run '^$$' -fuzz 'FuzzTilePartition' -fuzztime $(FUZZTIME) ./internal/engine/
 
 # bench runs the simulation-substrate micro-benchmarks plus the
 # end-to-end Figure 8 regeneration and the sharded-engine scaling
@@ -68,5 +72,18 @@ bench: build
 	$(GO) run ./tools/benchjson -out $(BENCH_OUT) < bench.out
 	@echo "appended to $(BENCH_OUT)"
 
+# bench-smoke is the CI-sized slice of `make bench`: just the tiled
+# engine-grid series (2x2, 4x4, 4x4 with the repartitioner), one
+# iteration per config, appended to the same SHA-keyed $(BENCH_OUT)
+# history. Each line carries the custom "imbalance" metric, so every
+# revision records a tiled balance datapoint without paying for the
+# full micro-benchmark sweep.
+bench-smoke: build
+	@rm -f bench-smoke.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineGrid/tiles' \
+		-benchmem -benchtime 1x -timeout 20m . | tee bench-smoke.out
+	$(GO) run ./tools/benchjson -out $(BENCH_OUT) < bench-smoke.out
+	@echo "appended to $(BENCH_OUT)"
+
 clean:
-	rm -f bench.out $(BENCH_OUT)
+	rm -f bench.out bench-smoke.out $(BENCH_OUT)

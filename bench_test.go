@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mnp/internal/experiment"
+	"mnp/internal/metrics"
 	"mnp/internal/packet"
 	"mnp/internal/radio"
 	"mnp/internal/sim"
@@ -236,6 +237,44 @@ func BenchmarkEngineGrid(b *testing.B) {
 					b.Fatalf("shards=%d seed=%d: dissemination incomplete", shards, 42+int64(i))
 				}
 			}
+		})
+	}
+	// Tiled series: the same 3600-node dissemination on explicit 2D
+	// tile grids, all at four executors, with and without the adaptive
+	// repartitioner. Each run reports the mean per-window load
+	// imbalance (max/mean across executors, 1.0 is perfect) alongside
+	// the timing, so BENCH_sim.json records the balance curve the
+	// repartitioner is supposed to flatten. `make bench-smoke` runs
+	// just this series, one iteration per config.
+	for _, tc := range []struct {
+		name       string
+		rows, cols int
+		repart     bool
+	}{
+		{"tiles=2x2", 2, 2, false},
+		{"tiles=4x4", 4, 4, false},
+		{"tiles=4x4-repart", 4, 4, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var imbalance float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(experiment.Setup{
+					Name: "engine-grid-tiled", Rows: 60, Cols: 60, ImagePackets: 64,
+					Seed: 42 + int64(i), Shards: 4,
+					TileRows: tc.rows, TileCols: tc.cols,
+					Repartition: tc.repart,
+					Limit:       12 * time.Hour,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatalf("%s seed=%d: dissemination incomplete", tc.name, 42+int64(i))
+				}
+				imbalance = metrics.SummarizeLoads(res.LoadMatrix()).Mean
+			}
+			b.ReportMetric(imbalance, "imbalance")
 		})
 	}
 }

@@ -69,7 +69,9 @@ func run(args []string) error {
 		rows     = fs.Int("rows", 8, "deployment grid rows (-faults / -telemetry runs)")
 		cols     = fs.Int("cols", 8, "deployment grid cols (-faults / -telemetry runs)")
 		packets  = fs.Int("packets", 128, "deployment image size in packets (-faults / -telemetry runs)")
-		shards   = fs.Int("shards", 1, "spatial shards per run, advanced in lockstep (1 = classic sequential kernel)")
+		shards   = fs.Int("shards", 1, "spatial shards per run, advanced in lockstep (1 = classic sequential kernel); with -tiles: logical executors")
+		tiles    = fs.String("tiles", "", `2D tile grid "RxC" (e.g. 4x4) or "auto" for every run; default: -shards contiguous strips`)
+		repart   = fs.Bool("repartition", false, "adaptively migrate tiles between executors at lockstep barriers")
 
 		telemetryDir = fs.String("telemetry", "", "write NDJSON events + Prometheus counters for a deployment run into this directory")
 		pprofAddr    = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address for the whole invocation")
@@ -87,9 +89,20 @@ func run(args []string) error {
 		return err
 	}
 	defer stopProf()
-	// Predefined specs fix everything but the seed; the shard count
-	// reaches them through the package default.
+	// Predefined specs fix everything but the seed; the shard count,
+	// tile grid, and repartitioner reach them through the package
+	// defaults.
 	experiment.SetDefaultShards(*shards)
+	tileRows, tileCols, tileAuto, err := experiment.ParseTileSpec(*tiles)
+	if err != nil {
+		return err
+	}
+	if tileAuto {
+		experiment.SetDefaultTiles(-1, -1)
+	} else {
+		experiment.SetDefaultTiles(tileRows, tileCols)
+	}
+	experiment.SetDefaultRepartition(*repart)
 	if *scenPath != "" {
 		if len(fs.Args()) > 0 {
 			return fmt.Errorf("-scenario runs its own deployment; drop the experiment IDs %v", fs.Args())
@@ -351,11 +364,7 @@ func finishDeploy(res *experiment.Result, setup experiment.Setup, telemetryDir s
 	}
 
 	if telemetryDir != "" {
-		until := res.CompletionTime
-		if !res.Completed {
-			until = setup.Limit
-		}
-		counters := telemetry.CountersFromSnapshot(res.Collector.Snapshot(until))
+		counters := res.Counters()
 		counters.PublishExpvar("mnp")
 		promPath := filepath.Join(telemetryDir, "counters.prom")
 		f, err := os.Create(promPath)

@@ -12,7 +12,11 @@
 //
 // -shards N partitions the deployment into N spatial shards advanced
 // in conservative lockstep (deterministic per (seed, shards); see
-// DESIGN.md §4f); -workers controls shard parallelism.
+// DESIGN.md §4f); -workers controls shard parallelism. -tiles RxC (or
+// "auto") switches to 2D tile partitioning with -shards logical
+// executors, and -repartition migrates tiles between executors at
+// barriers when load skews (results stay a pure function of
+// (seed, tile grid); see DESIGN.md §4i).
 package main
 
 import (
@@ -48,8 +52,10 @@ func run(args []string) error {
 		protocol = fs.String("protocol", "mnp", "protocol: mnp, deluge, moap, xnp")
 		power    = fs.Int("power", radio.PowerSim, "TinyOS transmit power level (1,3,4,20,50,255)")
 		seed     = fs.Int64("seed", 1, "simulation seed")
-		shards   = fs.Int("shards", 1, "spatial shards run in lockstep (1 = classic sequential kernel)")
-		workers  = fs.Int("workers", 0, "shard goroutines: 0 auto, 1 inline, N parallel (needs -shards > 1)")
+		shards   = fs.Int("shards", 1, "spatial shards run in lockstep (1 = classic sequential kernel); with -tiles: logical executors")
+		workers  = fs.Int("workers", 0, "executor goroutines: 0 auto, 1 inline, N parallel (needs an engine run)")
+		tiles    = fs.String("tiles", "", `2D tile grid "RxC" (e.g. 4x4) or "auto"; default: -shards contiguous strips`)
+		repart   = fs.Bool("repartition", false, "adaptively migrate tiles between executors at lockstep barriers")
 		limit    = fs.Duration("limit", 6*time.Hour, "simulated time limit")
 		report   = fs.String("report", "summary", "report: summary, energy, traffic, parents, progress")
 		traceID  = fs.Int("trace", -1, "dump the protocol event trace of one node ID (-1 disables)")
@@ -85,6 +91,10 @@ func run(args []string) error {
 		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
 
+	tileRows, tileCols, tileAuto, err := experiment.ParseTileSpec(*tiles)
+	if err != nil {
+		return err
+	}
 	setup := experiment.Setup{
 		Name:         "mnpsim",
 		Rows:         *rows,
@@ -96,6 +106,10 @@ func run(args []string) error {
 		Seed:         *seed,
 		Shards:       *shards,
 		Workers:      *workers,
+		TileRows:     tileRows,
+		TileCols:     tileCols,
+		TileAuto:     tileAuto,
+		Repartition:  *repart,
 		Limit:        *limit,
 	}
 	// The trace log and telemetry recorder need the run's clock (the
@@ -161,11 +175,7 @@ func run(args []string) error {
 		prog.Final()
 	}
 	if stream != nil {
-		until := res.CompletionTime
-		if !res.Completed {
-			until = setup.Limit
-		}
-		counters := telemetry.CountersFromSnapshot(res.Collector.Snapshot(until))
+		counters := res.Counters()
 		counters.PublishExpvar("mnp")
 		promPath := filepath.Join(*telemetryDir, "counters.prom")
 		pf, err := os.Create(promPath)
@@ -195,6 +205,11 @@ func run(args []string) error {
 	} else {
 		fmt.Printf("INCOMPLETE after %s: %d/%d nodes\n",
 			limit.Round(time.Second), res.Network.CompletedCount(), res.Layout.N())
+	}
+	if res.Engine != nil {
+		st := res.Engine.Stats()
+		fmt.Printf("engine: tiles %s, executors %d, windows %d, ghosts exported %d, tile migrations %d\n",
+			res.TileGrid, res.Engine.Executors(), st.Windows, st.GhostsExported, st.Migrations)
 	}
 	fmt.Printf("mean active radio time: %s (%s excluding initial idle listening)\n",
 		res.Collector.MeanActiveRadioTime(ct).Round(time.Second),

@@ -38,12 +38,22 @@ import (
 	"mnp/internal/sim"
 )
 
-// Shard is one partition of the deployment: a kernel, a radio shard
-// over the shared geometry, and the IDs of the nodes it owns.
+// Shard is one partition cell of the deployment — since PR 7 a *tile*:
+// a kernel, a radio shard over the shared geometry, and the IDs of the
+// nodes it owns. All simulation state lives in the tile; the executors
+// that advance tiles each window carry none, which is what lets the
+// repartitioner migrate a tile between executors without touching
+// results.
 type Shard struct {
 	Kernel *sim.Kernel
 	Medium *radio.Medium
 	Owned  []packet.NodeID
+	// Bounds, when non-nil, is the bounding box around the owned
+	// nodes' positions. The engine uses it to skip offering a ghost
+	// frame to a tile entirely out of the sender's radio range — safe
+	// because every potential receiver in the tile lies inside the box.
+	// Nil disables the prefilter (the ghost is offered everywhere).
+	Bounds *Rect
 }
 
 // Config parameterizes the sharded engine.
@@ -52,11 +62,72 @@ type Config struct {
 	// It must not exceed the minimum frame airtime or cross-shard
 	// frames could be due before the barrier that carries them.
 	Window time.Duration
-	// Workers selects the execution mode: <= 1 runs the shards inline
+	// Workers selects the execution mode: <= 1 runs the tiles inline
 	// on the calling goroutine (same results, no goroutines — the right
 	// mode on a single-CPU host); anything larger runs one goroutine
-	// per shard. 0 picks inline when the process has one CPU.
+	// per executor. 0 picks inline when the process has one CPU.
 	Workers int
+	// Shards is the number of logical executors the tiles are assigned
+	// to. 0 defaults to one executor per tile (the PR 4 strip engine's
+	// shape). Executors are a scheduling concept only: results are
+	// independent of the executor count, the tile→executor assignment,
+	// and hence of anything the repartitioner does.
+	Shards int
+	// Repartition, when non-nil, enables the adaptive repartitioner:
+	// at the end of every Every-window period the engine compares
+	// per-executor loads (tile kernel events + frame deliveries, both
+	// deterministic) and re-packs tiles onto executors when the
+	// max/mean skew exceeds Threshold. Migration happens only at
+	// barriers and moves no simulation state.
+	Repartition *Repartition
+	// OnLoad, when non-nil, receives a load report at the end of every
+	// report period (Repartition.Every windows, or every 32 when the
+	// repartitioner is off). Reports include wall-clock barrier wait
+	// per executor; the repartitioner itself never reads wall time.
+	OnLoad func(LoadReport)
+}
+
+// Repartition tunes the adaptive tile repartitioner.
+type Repartition struct {
+	// Every is the decision period in windows; 0 defaults to 32.
+	Every int
+	// Threshold is the max/mean executor-load ratio above which the
+	// engine re-packs tiles; 0 defaults to 1.25. Values at or below 1
+	// re-pack whenever any imbalance exists.
+	Threshold float64
+}
+
+const (
+	defaultRepartitionEvery     = 32
+	defaultRepartitionThreshold = 1.25
+)
+
+// ShardLoad is one executor's share of a load report period.
+type ShardLoad struct {
+	Shard     int   // executor index
+	Tiles     int   // tiles currently assigned to it
+	Events    int64 // kernel events executed this period (deterministic)
+	Delivered int64 // frames delivered to its nodes this period (deterministic)
+	WaitNs    int64 // wall-clock time spent waiting at barriers (diagnostic only)
+}
+
+// LoadReport is the per-period load summary handed to Config.OnLoad.
+type LoadReport struct {
+	Window     int           // windows completed at the end of the period
+	Barrier    time.Duration // simulated time of the closing barrier
+	Shards     []ShardLoad   // one entry per executor
+	Migrations int           // tiles migrated at this barrier
+}
+
+// Stats are cumulative engine counters. Every field is deterministic:
+// equal for equal (seed, tile grid, executor count, repartitioner
+// config), independent of worker count.
+type Stats struct {
+	Windows        int64 // lockstep windows executed (idle skips excluded)
+	GhostsExported int64 // boundary frames drained from tile outboxes
+	GhostsOffered  int64 // ghost insertions attempted after bounds routing
+	Migrations     int64 // tiles moved between executors
+	Repartitions   int64 // barriers at which at least one tile moved
 }
 
 // ConservativeWindow returns the largest safe lockstep window for a
@@ -73,9 +144,10 @@ type globalEvent struct {
 	fn  func()
 }
 
-// Engine drives K shards in lockstep windows.
+// Engine drives a set of tiles in lockstep windows, scheduled onto a
+// fixed number of logical executors.
 type Engine struct {
-	shards  []*Shard
+	shards  []*Shard // the tiles; "shard" kept for API continuity
 	window  time.Duration
 	workers int
 
@@ -91,10 +163,37 @@ type Engine struct {
 	// while replaying buffered observations, the barrier otherwise.
 	replayNow time.Duration
 
-	// cmd/done carry the per-window barrier protocol to the shard
+	// nExec logical executors advance the tiles; asn[tile] is the
+	// owning executor. asn is only ever written at barriers (with
+	// worker goroutines parked on their command channels), so executor
+	// goroutines read it race-free.
+	nExec int
+	asn   []int
+
+	rep    *Repartition // resolved (defaults filled), nil when off
+	onLoad func(LoadReport)
+	every  int // report/decision period in windows
+
+	// Per-tile load accumulators for the current period, plus the
+	// delivery counter watermark from the previous period.
+	tileEvents    []int64
+	tileDelivered []int64
+	lastDelivered []uint64
+	execWaitNs    []int64         // per-executor barrier wait this period
+	execElapsed   []time.Duration // scratch: per-executor window wall time
+	periodWindows int
+
+	stats Stats
+
+	// cmd/done carry the per-window barrier protocol to the executor
 	// goroutines; both are nil in inline mode.
 	cmd  []chan time.Duration
-	done chan struct{}
+	done chan execDone
+}
+
+type execDone struct {
+	exec    int
+	elapsed time.Duration
 }
 
 // New builds an engine over the given shards. Shards must own disjoint
@@ -116,17 +215,60 @@ func New(cfg Config, shards []*Shard) (*Engine, error) {
 	if workers == 0 {
 		workers = runtime.NumCPU()
 	}
+	nExec := cfg.Shards
+	if nExec == 0 {
+		nExec = len(shards)
+	}
+	if nExec < 1 || nExec > len(shards) {
+		return nil, fmt.Errorf("engine: executor count %d outside [1, %d]", nExec, len(shards))
+	}
 	e := &Engine{
-		shards:  shards,
-		window:  cfg.Window,
-		workers: workers,
-		buffers: make([]*Buffer, len(shards)),
+		shards:        shards,
+		window:        cfg.Window,
+		workers:       workers,
+		buffers:       make([]*Buffer, len(shards)),
+		nExec:         nExec,
+		asn:           make([]int, len(shards)),
+		onLoad:        cfg.OnLoad,
+		every:         defaultRepartitionEvery,
+		tileEvents:    make([]int64, len(shards)),
+		tileDelivered: make([]int64, len(shards)),
+		lastDelivered: make([]uint64, len(shards)),
+		execWaitNs:    make([]int64, nExec),
+		execElapsed:   make([]time.Duration, nExec),
+	}
+	// Initial assignment: contiguous tile blocks per executor. With one
+	// tile per executor (the legacy strip shape) this is the identity.
+	for ti := range e.asn {
+		e.asn[ti] = ti * nExec / len(shards)
+	}
+	if cfg.Repartition != nil {
+		rep := *cfg.Repartition
+		if rep.Every <= 0 {
+			rep.Every = defaultRepartitionEvery
+		}
+		if rep.Threshold == 0 {
+			rep.Threshold = defaultRepartitionThreshold
+		}
+		e.rep = &rep
+		e.every = rep.Every
 	}
 	for i := range e.buffers {
 		e.buffers[i] = &Buffer{now: shards[i].Kernel.Now}
 	}
 	return e, nil
 }
+
+// Stats returns the engine's cumulative counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Assignment returns a copy of the current tile→executor assignment.
+func (e *Engine) Assignment() []int {
+	return append([]int(nil), e.asn...)
+}
+
+// Executors returns the number of logical executors.
+func (e *Engine) Executors() int { return e.nExec }
 
 // Shards returns the engine's shards (read-only; useful to tests and
 // fault wiring).
@@ -202,6 +344,7 @@ func (e *Engine) RunUntil(pred func() bool, limit time.Duration) bool {
 		e.advanceShards(next)
 		e.exchange()
 		e.barrier = next
+		e.endWindow()
 		e.replayBuffers()
 		if pred() {
 			return true
@@ -230,30 +373,46 @@ func (e *Engine) runGlobals() {
 	}
 }
 
-// advanceShards runs every shard's kernel up to (exclusive) the next
-// barrier and leaves its clock parked exactly at it.
+// advanceShards runs every tile's kernel up to (exclusive) the next
+// barrier and leaves its clock parked exactly at it, accumulating the
+// per-tile event counts the repartitioner reads.
 func (e *Engine) advanceShards(next time.Duration) {
 	if e.cmd == nil {
-		for _, sh := range e.shards {
-			sh.Kernel.RunBefore(next)
+		for ti, sh := range e.shards {
+			n := sh.Kernel.RunBefore(next)
 			sh.Kernel.AdvanceTo(next)
+			e.tileEvents[ti] += int64(n)
 		}
 		return
 	}
 	for _, c := range e.cmd {
 		c <- next
 	}
-	for range e.shards {
-		<-e.done
+	var slowest time.Duration
+	for i := 0; i < e.nExec; i++ {
+		d := <-e.done
+		e.execElapsed[d.exec] = d.elapsed
+		if d.elapsed > slowest {
+			slowest = d.elapsed
+		}
+	}
+	if e.rep != nil || e.onLoad != nil {
+		for x, el := range e.execElapsed {
+			e.execWaitNs[x] += int64(slowest - el)
+		}
 	}
 }
 
-// exchange moves boundary-crossing frames between shards: every
-// shard's outbox is drained, the union is ordered by (start, source,
-// sequence), and each ghost is offered to every other shard (the
-// medium ignores ghosts inaudible to its nodes). Insertion order is a
-// pure function of simulation state, so two runs — or the same run
-// with a different worker count — exchange identically.
+// exchange moves boundary-crossing frames between tiles: every tile's
+// outbox is drained, the union is ordered by (start, source,
+// sequence), and each ghost is offered to every other tile whose
+// bounding box lies within the sender's radio range (the medium then
+// ignores ghosts inaudible to its nodes). Insertion order is a pure
+// function of simulation state, so two runs — or the same run with a
+// different worker count or tile→executor assignment — exchange
+// identically. The bounds prefilter is exact-safe: Rect.Distance
+// lower-bounds the sender's distance to every node in the tile, and an
+// insertion it skips would have been a no-op (no audible receivers).
 func (e *Engine) exchange() {
 	type routed struct {
 		g    radio.Ghost
@@ -268,6 +427,7 @@ func (e *Engine) exchange() {
 	if len(all) == 0 {
 		return
 	}
+	e.stats.GhostsExported += int64(len(all))
 	sort.Slice(all, func(a, b int) bool {
 		ga, gb := all[a].g, all[b].g
 		if ga.Start != gb.Start {
@@ -283,11 +443,149 @@ func (e *Engine) exchange() {
 			if j == r.from {
 				continue
 			}
+			if sh.Bounds != nil && r.g.RangeFt > 0 &&
+				sh.Bounds.Distance(r.g.X, r.g.Y) > r.g.RangeFt {
+				continue
+			}
+			e.stats.GhostsOffered++
 			if err := sh.Medium.InsertGhost(r.g); err != nil {
 				panic(fmt.Sprintf("engine: ghost exchange: %v", err))
 			}
 		}
 	}
+}
+
+// endWindow closes a lockstep window: counts it, and at the end of
+// each report period gathers per-executor loads, lets the
+// repartitioner re-pack tiles, and emits the load report.
+func (e *Engine) endWindow() {
+	e.stats.Windows++
+	if e.rep == nil && e.onLoad == nil {
+		return
+	}
+	e.periodWindows++
+	if e.periodWindows < e.every {
+		return
+	}
+	for ti, sh := range e.shards {
+		d := sh.Medium.Deliveries()
+		e.tileDelivered[ti] = int64(d - e.lastDelivered[ti])
+		e.lastDelivered[ti] = d
+	}
+	migrated := 0
+	if e.rep != nil {
+		migrated = e.repartition()
+	}
+	if e.onLoad != nil {
+		loads := make([]ShardLoad, e.nExec)
+		for x := range loads {
+			loads[x].Shard = x
+			loads[x].WaitNs = e.execWaitNs[x]
+		}
+		for ti := range e.shards {
+			l := &loads[e.asn[ti]]
+			l.Tiles++
+			l.Events += e.tileEvents[ti]
+			l.Delivered += e.tileDelivered[ti]
+		}
+		e.onLoad(LoadReport{
+			Window:     int(e.stats.Windows),
+			Barrier:    e.barrier,
+			Shards:     loads,
+			Migrations: migrated,
+		})
+	}
+	for ti := range e.tileEvents {
+		e.tileEvents[ti] = 0
+	}
+	for x := range e.execWaitNs {
+		e.execWaitNs[x] = 0
+	}
+	e.periodWindows = 0
+}
+
+// repartition re-packs tiles onto executors when the deterministic
+// per-executor load skew (max/mean of kernel events + deliveries this
+// period) exceeds the threshold. It runs at a barrier with every
+// executor goroutine parked, and only rewrites the tile→executor
+// assignment — no kernel, medium, node, or RNG state moves — so it
+// cannot affect simulation results. Returns the number of tiles moved.
+func (e *Engine) repartition() int {
+	if e.nExec < 2 {
+		return 0
+	}
+	tload := make([]int64, len(e.shards))
+	for ti := range e.shards {
+		tload[ti] = e.tileEvents[ti] + e.tileDelivered[ti]
+	}
+	newAsn, moved := planAssignment(tload, e.asn, e.nExec, e.rep.Threshold)
+	if moved == 0 {
+		return 0
+	}
+	copy(e.asn, newAsn)
+	e.stats.Migrations += int64(moved)
+	e.stats.Repartitions++
+	return moved
+}
+
+// planAssignment decides the next tile→executor assignment from
+// per-tile loads: if the current assignment's max/mean executor load
+// exceeds threshold, tiles are greedily re-packed heaviest-first onto
+// the least-loaded executor (LPT), ties keeping the current owner to
+// minimize churn, then the lowest executor index. Pure function — the
+// core the repartitioner's determinism rests on.
+func planAssignment(tload []int64, cur []int, nExec int, threshold float64) ([]int, int) {
+	var total int64
+	eload := make([]int64, nExec)
+	for ti, l := range tload {
+		eload[cur[ti]] += l
+		total += l
+	}
+	if total == 0 {
+		return cur, 0
+	}
+	var max int64
+	for _, l := range eload {
+		if l > max {
+			max = l
+		}
+	}
+	mean := float64(total) / float64(nExec)
+	if float64(max) <= threshold*mean {
+		return cur, 0
+	}
+	order := make([]int, len(tload))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := order[a], order[b]
+		if tload[ta] != tload[tb] {
+			return tload[ta] > tload[tb]
+		}
+		return ta < tb
+	})
+	sums := make([]int64, nExec)
+	next := make([]int, len(tload))
+	for _, ti := range order {
+		best := 0
+		for x := 1; x < nExec; x++ {
+			if sums[x] < sums[best] {
+				best = x
+			} else if sums[x] == sums[best] && x == cur[ti] {
+				best = x
+			}
+		}
+		next[ti] = best
+		sums[best] += tload[ti]
+	}
+	moved := 0
+	for ti := range next {
+		if next[ti] != cur[ti] {
+			moved++
+		}
+	}
+	return next, moved
 }
 
 // skipIdle fast-forwards over empty windows: when the earliest pending
@@ -351,22 +649,36 @@ func (e *Engine) replayBuffers() {
 
 // --- worker machinery ---
 
+// startWorkers spawns one goroutine per logical executor. Each window,
+// an executor advances exactly the tiles the current assignment gives
+// it; the assignment is only rewritten at barriers while every
+// executor is parked on its command channel, so the channel send
+// establishes the happens-before edge that makes asn reads race-free.
+// Per-tile event counters are written only by the owning executor and
+// read only at barriers, for the same reason.
 func (e *Engine) startWorkers() (stop func()) {
-	if e.workers <= 1 || len(e.shards) == 1 {
+	if e.workers <= 1 || len(e.shards) == 1 || e.nExec == 1 {
 		return func() {}
 	}
-	e.cmd = make([]chan time.Duration, len(e.shards))
-	e.done = make(chan struct{}, len(e.shards))
-	for i := range e.shards {
+	e.cmd = make([]chan time.Duration, e.nExec)
+	e.done = make(chan execDone, e.nExec)
+	for x := 0; x < e.nExec; x++ {
 		c := make(chan time.Duration)
-		e.cmd[i] = c
-		go func(sh *Shard) {
+		e.cmd[x] = c
+		go func(me int) {
 			for next := range c {
-				sh.Kernel.RunBefore(next)
-				sh.Kernel.AdvanceTo(next)
-				e.done <- struct{}{}
+				start := time.Now()
+				for ti, sh := range e.shards {
+					if e.asn[ti] != me {
+						continue
+					}
+					n := sh.Kernel.RunBefore(next)
+					sh.Kernel.AdvanceTo(next)
+					e.tileEvents[ti] += int64(n)
+				}
+				e.done <- execDone{exec: me, elapsed: time.Since(start)}
 			}
-		}(e.shards[i])
+		}(x)
 	}
 	return func() {
 		for _, c := range e.cmd {

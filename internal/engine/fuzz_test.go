@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"testing"
+
+	"mnp/internal/packet"
+	"mnp/internal/topology"
+)
+
+// FuzzTilePartition drives the tile partitioner with arbitrary point
+// sets and grid shapes — duplicates, colinear runs, degenerate 1×N and
+// N×1 strips — and asserts the structural invariants always hold:
+// exactly-one-tile coverage, non-empty tiles, sorted ownership, tight
+// bounds, and a boundary set identical to the brute-force reference.
+func FuzzTilePartition(f *testing.F) {
+	// Seeds: square spread, colinear run (N×1 and 1×N cuts), duplicate
+	// points, single node, over-fine grid (must error).
+	f.Add([]byte{0, 0, 0, 200, 200, 0, 200, 200, 100, 100, 50, 150}, uint8(2), uint8(2), uint8(40))
+	f.Add([]byte{0, 0, 10, 0, 20, 0, 30, 0, 40, 0, 50, 0}, uint8(1), uint8(6), uint8(15))
+	f.Add([]byte{0, 0, 0, 10, 0, 20, 0, 30, 0, 40, 0, 50}, uint8(6), uint8(1), uint8(15))
+	f.Add([]byte{5, 5, 5, 5, 5, 5, 7, 5}, uint8(2), uint8(1), uint8(4))
+	f.Add([]byte{42, 42}, uint8(1), uint8(1), uint8(10))
+	f.Add([]byte{0, 0, 9, 9}, uint8(3), uint8(3), uint8(5))
+	f.Fuzz(func(t *testing.T, raw []byte, rowsB, colsB, rangeB uint8) {
+		if len(raw) < 2 {
+			return
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		pts := make([]topology.Point, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			// Quarter-foot resolution exercises non-integer coordinates.
+			pts = append(pts, topology.Point{X: float64(raw[i]) / 4, Y: float64(raw[i+1]) / 4})
+		}
+		layout, err := topology.FromPoints("fuzz", pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := layout.N()
+		g := Grid{Rows: 1 + int(rowsB)%16, Cols: 1 + int(colsB)%16}
+		tiles, err := TilePartition(layout, g)
+		if g.Tiles() > n {
+			if err == nil {
+				t.Fatalf("grid %s over %d nodes accepted", g, n)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("grid %s over %d nodes rejected: %v", g, n, err)
+		}
+		if len(tiles) != g.Tiles() {
+			t.Fatalf("grid %s: %d tiles", g, len(tiles))
+		}
+		layoutPts := layout.Points()
+		seen := make(map[packet.NodeID]bool)
+		for ti, tl := range tiles {
+			if len(tl.Owned) == 0 {
+				t.Fatalf("grid %s: tile %d empty", g, ti)
+			}
+			for i, id := range tl.Owned {
+				if i > 0 && tl.Owned[i-1] >= id {
+					t.Fatalf("tile %d Owned not ascending: %v", ti, tl.Owned)
+				}
+				if seen[id] {
+					t.Fatalf("node %v owned twice", id)
+				}
+				seen[id] = true
+				p := layoutPts[id]
+				if !tl.Bounds.Contains(p.X, p.Y) {
+					t.Fatalf("node %v outside tile %d bounds", id, ti)
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("tiles cover %d of %d nodes", len(seen), n)
+		}
+		rangeFt := float64(rangeB)/4 + 0.25 // always positive
+		tileOf := TileOf(n, tiles)
+		got, err := BoundaryNodes(layout, tileOf, rangeFt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := boundaryWant(layout, tileOf, rangeFt)
+		if len(got) != len(want) {
+			t.Fatalf("grid %s range %g: boundary %v, brute force %v", g, rangeFt, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("grid %s range %g: boundary %v, brute force %v", g, rangeFt, got, want)
+			}
+		}
+	})
+}

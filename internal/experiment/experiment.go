@@ -7,6 +7,8 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -156,9 +158,32 @@ type Setup struct {
 	Shards int
 	// Workers bounds the sharded engine's parallelism: <= 1 advances
 	// shards inline on the calling goroutine (identical results, no
-	// goroutines), anything larger runs one goroutine per shard, and 0
-	// picks a mode from the host CPU count. Ignored when Shards <= 1.
+	// goroutines), anything larger runs one goroutine per executor, and
+	// 0 picks a mode from the host CPU count. Ignored on the sequential
+	// path.
 	Workers int
+	// TileRows and TileCols partition the deployment into a 2D tile
+	// grid run by the lockstep engine, with Shards logical executors
+	// (default 1) advancing the tiles. Results are a pure function of
+	// (Seed, tile grid) — independent of Shards, Workers, and the
+	// repartitioner. Both zero (the default) keeps the legacy layout:
+	// Shards contiguous strips, one per executor. A 1×1 grid runs the
+	// classic sequential path, byte-identical to earlier releases.
+	TileRows, TileCols int
+	// TileAuto sizes the tile grid automatically from the deployment
+	// extent, the radio range, and the worker count (engine.AutoGrid).
+	// Mutually exclusive with TileRows/TileCols.
+	TileAuto bool
+	// Repartition enables the engine's adaptive repartitioner:
+	// executor loads are compared every RepartitionEvery windows
+	// (default 32) and whole tiles migrate between executors when the
+	// max/mean load skew exceeds RepartitionThreshold (default 1.25).
+	// Migration is quantized to barriers and moves no simulation
+	// state, so it never affects results. Ignored (with a validated
+	// no-op) on the sequential path.
+	Repartition          bool
+	RepartitionEvery     int
+	RepartitionThreshold float64
 }
 
 // defaultShards is what Setups that leave Shards zero get; mnpexp's
@@ -173,6 +198,54 @@ func SetDefaultShards(n int) {
 		n = 1
 	}
 	defaultShards = n
+}
+
+// Package defaults for tiling and repartitioning, reached by mnpexp's
+// -tiles/-repartition flags the same way -shards reaches defaultShards.
+var (
+	defaultTileRows, defaultTileCols int
+	defaultTileAuto                  bool
+	defaultRepartition               bool
+)
+
+// SetDefaultTiles sets the tile grid for Setups that do not choose one:
+// rows×cols when both are positive, automatic sizing when either is
+// negative, none (the legacy strip layout) when both are zero. Not safe
+// to call concurrently with Build.
+func SetDefaultTiles(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		defaultTileRows, defaultTileCols, defaultTileAuto = 0, 0, true
+		return
+	}
+	defaultTileRows, defaultTileCols, defaultTileAuto = rows, cols, false
+}
+
+// SetDefaultRepartition toggles the adaptive repartitioner for Setups
+// that do not choose. Not safe to call concurrently with Build.
+func SetDefaultRepartition(on bool) { defaultRepartition = on }
+
+// ParseTileSpec parses a CLI tile-grid argument: "" (no tiling),
+// "auto" (size the grid from the deployment and worker count), or
+// "RxC" (e.g. "4x4"). Shared by the mnpsim and mnpexp flags.
+func ParseTileSpec(spec string) (rows, cols int, auto bool, err error) {
+	spec = strings.TrimSpace(strings.ToLower(spec))
+	if spec == "" {
+		return 0, 0, false, nil
+	}
+	if spec == "auto" {
+		return 0, 0, true, nil
+	}
+	r, c, ok := strings.Cut(spec, "x")
+	if ok {
+		rows, err = strconv.Atoi(strings.TrimSpace(r))
+		if err == nil {
+			cols, err = strconv.Atoi(strings.TrimSpace(c))
+		}
+		if err == nil && rows > 0 && cols > 0 {
+			return rows, cols, false, nil
+		}
+	}
+	return 0, 0, false, fmt.Errorf(`tile grid %q: want "RxC" (e.g. 4x4) or "auto"`, spec)
 }
 
 func (s Setup) withDefaults() Setup {
@@ -193,6 +266,16 @@ func (s Setup) withDefaults() Setup {
 	}
 	if s.Shards == 0 {
 		s.Shards = defaultShards
+	}
+	if s.TileRows == 0 && s.TileCols == 0 && !s.TileAuto {
+		if defaultTileAuto {
+			s.TileAuto = true
+		} else if defaultTileRows > 0 && defaultTileCols > 0 {
+			s.TileRows, s.TileCols = defaultTileRows, defaultTileCols
+		}
+	}
+	if !s.Repartition && defaultRepartition {
+		s.Repartition = true
 	}
 	return s
 }
@@ -221,6 +304,32 @@ func (s Setup) Validate() error {
 	}
 	if s.Shards > n {
 		return fmt.Errorf("experiment %s: %d shards exceed the %d-node deployment", s.Name, s.Shards, n)
+	}
+	if s.TileRows < 0 || s.TileCols < 0 {
+		return fmt.Errorf("experiment %s: tile grid %dx%d is invalid: rows and cols must be non-negative", s.Name, s.TileRows, s.TileCols)
+	}
+	if (s.TileRows > 0) != (s.TileCols > 0) {
+		return fmt.Errorf("experiment %s: tile grid %dx%d is invalid: set both rows and cols (or neither)", s.Name, s.TileRows, s.TileCols)
+	}
+	if tiles := s.TileRows * s.TileCols; tiles > 0 {
+		if s.TileAuto {
+			return fmt.Errorf("experiment %s: tile grid %dx%d and automatic tiling are mutually exclusive", s.Name, s.TileRows, s.TileCols)
+		}
+		if tiles > n {
+			return fmt.Errorf("experiment %s: %dx%d tile grid has %d tiles for the %d-node deployment", s.Name, s.TileRows, s.TileCols, tiles, n)
+		}
+		if s.Shards > tiles {
+			return fmt.Errorf("experiment %s: %d executors exceed the %d-tile grid", s.Name, s.Shards, tiles)
+		}
+	}
+	if s.RepartitionEvery < 0 {
+		return fmt.Errorf("experiment %s: repartition period %d windows is negative", s.Name, s.RepartitionEvery)
+	}
+	if s.RepartitionThreshold != 0 && s.RepartitionThreshold < 1 {
+		return fmt.Errorf("experiment %s: repartition threshold %g must be at least 1 (or 0 for the default)", s.Name, s.RepartitionThreshold)
+	}
+	if (s.RepartitionEvery != 0 || s.RepartitionThreshold != 0) && !s.Repartition {
+		return fmt.Errorf("experiment %s: repartition tuning set but repartitioning is off", s.Name)
 	}
 	if s.ImagePackets < 0 {
 		return fmt.Errorf("experiment %s: image size %d packets is negative", s.Name, s.ImagePackets)
@@ -263,11 +372,19 @@ type Result struct {
 	Image     *image.Image
 	Kernel    *sim.Kernel
 
-	// Engine drives a sharded run (Setup.Shards > 1); nil on the
-	// sequential path. Kernel and Medium are nil when Engine is set —
-	// no single pair exists — and Collector holds the deterministic
-	// cross-shard merge, available once the run finishes.
+	// Engine drives a sharded run (Setup.Shards > 1 or a multi-tile
+	// grid); nil on the sequential path. Kernel and Medium are nil when
+	// Engine is set — no single pair exists — and Collector holds the
+	// deterministic cross-shard merge, available once the run finishes.
 	Engine *engine.Engine
+	// TileGrid is the tile partition the engine ran over (1×Shards for
+	// legacy strips); zero on the sequential path.
+	TileGrid engine.Grid
+	// Loads collects the engine's per-period load reports (one entry
+	// per report period, each with per-executor event/delivery/wait
+	// figures and the tiles migrated at that barrier). Empty on the
+	// sequential path.
+	Loads []engine.LoadReport
 	// Now is the run's observation clock: Kernel.Now sequentially, the
 	// engine's replay-aware clock when sharded. Bind lazily-clocked
 	// observers (trace logs, telemetry recorders) to it.
@@ -330,6 +447,28 @@ func (r *Result) finalizeShards() {
 	r.Collector = merged
 }
 
+// Counters builds the run's final counter registry: the metrics
+// snapshot up to completion (or the limit), plus the engine's
+// window/ghost/migration totals on sharded runs. The telemetry
+// summary record and the CLIs' counters.prom dumps both come from
+// here, so the two surfaces always agree.
+func (r *Result) Counters() *telemetry.Counters {
+	until := r.CompletionTime
+	if !r.Completed {
+		until = r.Setup.Limit
+	}
+	c := telemetry.CountersFromSnapshot(r.Collector.Snapshot(until))
+	if r.Engine != nil {
+		st := r.Engine.Stats()
+		c.Set("engine_windows_total", st.Windows)
+		c.Set("engine_ghosts_exported_total", st.GhostsExported)
+		c.Set("engine_ghosts_offered_total", st.GhostsOffered)
+		c.Set("engine_tile_migrations_total", st.Migrations)
+		c.Set("engine_repartitions_total", st.Repartitions)
+	}
+	return c
+}
+
 // FinishTelemetry emits the final counters summary to the attached
 // telemetry recorder. Run calls it automatically; callers driving the
 // kernel themselves (after Build) call it once the run is over.
@@ -337,11 +476,7 @@ func (r *Result) FinishTelemetry() {
 	if r.Setup.Telemetry == nil {
 		return
 	}
-	until := r.CompletionTime
-	if !r.Completed {
-		until = r.Setup.Limit
-	}
-	r.Setup.Telemetry.Summary(telemetry.CountersFromSnapshot(r.Collector.Snapshot(until)).Snapshot())
+	r.Setup.Telemetry.Summary(r.Counters().Snapshot())
 }
 
 // Build constructs the deployment without starting the protocols, so
@@ -373,7 +508,11 @@ func Build(s Setup) (*Result, error) {
 	if int(s.BaseID) >= layout.N() {
 		return nil, fmt.Errorf("experiment %s: base %v outside the %d-node layout", s.Name, s.BaseID, layout.N())
 	}
-	if s.Shards > 1 {
+	// The engine path serves legacy strip sharding (Shards > 1) and any
+	// multi-tile grid. A 1×1 grid is the whole deployment in one cell:
+	// it routes to the sequential path below, byte-identical to every
+	// pre-tiling golden hash.
+	if s.Shards > 1 || s.TileRows*s.TileCols > 1 || s.TileAuto {
 		return buildSharded(s, img, layout)
 	}
 	// Events scale with nodes (a few timers and an in-flight frame
@@ -514,11 +653,15 @@ func (s Setup) protocolFactory(img *image.Image) node.Factory {
 	}
 }
 
-// buildSharded assembles the K-shard deployment: one kernel, radio
-// shard, and collector per partition over a shared channel geometry,
-// nodes pinned to the shard owning them, and single-instance observers
-// (trace logs, telemetry, the invariant checker) fed through the
-// engine's deterministic barrier replay.
+// buildSharded assembles an engine-driven deployment: the layout is
+// partitioned into tiles (an explicit or automatic 2D grid, or the
+// legacy contiguous strips when only Shards is set), each tile gets a
+// kernel, a radio shard over the shared channel geometry, and a
+// collector, nodes are pinned to the tile owning them, and
+// single-instance observers (trace logs, telemetry, the invariant
+// checker) are fed through the engine's deterministic barrier replay.
+// Logical executors advance the tiles; on the legacy path there is one
+// tile per executor, reproducing the PR 4 strip engine exactly.
 func buildSharded(s Setup, img *image.Image, layout *topology.Layout) (*Result, error) {
 	rp := radio.DefaultParams()
 	if s.Radio != nil {
@@ -532,20 +675,55 @@ func buildSharded(s Setup, img *image.Image, layout *topology.Layout) (*Result, 
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
 	}
-	parts, err := engine.Partition(layout, s.Shards)
+	var tiles []engine.Tile
+	var grid engine.Grid
+	executors := s.Shards
+	switch {
+	case s.TileRows > 0:
+		grid = engine.Grid{Rows: s.TileRows, Cols: s.TileCols}
+		tiles, err = engine.TilePartition(layout, grid)
+	case s.TileAuto:
+		workersHint := s.Workers
+		if workersHint <= 0 {
+			workersHint = runtime.NumCPU()
+		}
+		grid = engine.AutoGrid(layout, rangeFt, workersHint)
+		tiles, err = engine.TilePartition(layout, grid)
+	default:
+		// Legacy strips: K tiles, one per executor, with the exact
+		// partition, ordering, and seeds of the pre-tiling engine.
+		grid = engine.Grid{Rows: 1, Cols: s.Shards}
+		var parts [][]packet.NodeID
+		parts, err = engine.Partition(layout, s.Shards)
+		if err == nil {
+			tiles = make([]engine.Tile, len(parts))
+			for i, owned := range parts {
+				tiles[i] = engine.Tile{Row: 0, Col: i, Owned: owned, Bounds: engine.BoundsOf(layout, owned)}
+			}
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
 	}
+	if executors < 1 {
+		executors = 1
+	}
+	if executors > len(tiles) {
+		executors = len(tiles)
+	}
 	shardOf := make([]int, layout.N())
-	shards := make([]*engine.Shard, len(parts))
-	collectors := make([]*metrics.Collector, len(parts))
-	for i, owned := range parts {
+	shards := make([]*engine.Shard, len(tiles))
+	collectors := make([]*metrics.Collector, len(tiles))
+	for i, tile := range tiles {
+		owned := tile.Owned
 		for _, id := range owned {
 			shardOf[id] = i
 		}
-		// Distinct RNG streams per shard; the stride keeps shard seeds
+		// Distinct RNG streams per tile; the stride keeps tile seeds
 		// clear of the seed+1 (link noise) and seed+77 (image fill)
-		// derivations.
+		// derivations. Seeds depend on the tile index only — never on
+		// executors or workers — so results are a pure function of
+		// (Seed, tile grid).
 		kernel := sim.NewSized(s.Seed+0x5EED*int64(i+1), 4*len(owned)+64)
 		medium, err := radio.NewShardMedium(kernel, geo, owned)
 		if err != nil {
@@ -561,11 +739,28 @@ func buildSharded(s Setup, img *image.Image, layout *topology.Layout) (*Result, 
 		}
 		medium.SetSink(collector)
 		collectors[i] = collector
-		shards[i] = &engine.Shard{Kernel: kernel, Medium: medium, Owned: owned}
+		bounds := tile.Bounds
+		shards[i] = &engine.Shard{Kernel: kernel, Medium: medium, Owned: owned, Bounds: &bounds}
+	}
+	var rep *engine.Repartition
+	if s.Repartition {
+		rep = &engine.Repartition{Every: s.RepartitionEvery, Threshold: s.RepartitionThreshold}
+	}
+	res := &Result{}
+	onLoad := func(lr engine.LoadReport) {
+		res.Loads = append(res.Loads, lr)
+		if s.Telemetry != nil {
+			for _, sl := range lr.Shards {
+				s.Telemetry.Load(lr.Barrier, lr.Window, sl.Shard, sl.Tiles, sl.Events, sl.Delivered, sl.WaitNs, lr.Migrations)
+			}
+		}
 	}
 	eng, err := engine.New(engine.Config{
-		Window:  engine.ConservativeWindow(geo),
-		Workers: s.Workers,
+		Window:      engine.ConservativeWindow(geo),
+		Workers:     s.Workers,
+		Shards:      executors,
+		Repartition: rep,
+		OnLoad:      onLoad,
 	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
@@ -655,19 +850,32 @@ func buildSharded(s Setup, img *image.Image, layout *topology.Layout) (*Result, 
 			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
 		}
 	}
-	return &Result{
-		Setup:   s,
-		Layout:  layout,
-		Network: nw,
-		Image:   img,
-		Engine:  eng,
-		Now:     eng.Now,
+	res.Setup = s
+	res.Layout = layout
+	res.Network = nw
+	res.Image = img
+	res.Engine = eng
+	res.Now = eng.Now
+	res.TileGrid = grid
+	res.Invariants = checker
+	res.shardCollectors = collectors
+	res.shardOf = shardOf
+	return res, nil
+}
 
-		Invariants: checker,
-
-		shardCollectors: collectors,
-		shardOf:         shardOf,
-	}, nil
+// LoadMatrix flattens the run's engine load reports into one
+// per-period per-executor vector of deterministic load (kernel events
+// + frame deliveries), the shape metrics.SummarizeLoads consumes.
+func (r *Result) LoadMatrix() [][]int64 {
+	out := make([][]int64, 0, len(r.Loads))
+	for _, lr := range r.Loads {
+		row := make([]int64, len(lr.Shards))
+		for i, sl := range lr.Shards {
+			row[i] = sl.Events + sl.Delivered
+		}
+		out = append(out, row)
+	}
+	return out
 }
 
 // VerifyInvariants returns the checker's first recorded violation, or

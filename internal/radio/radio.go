@@ -362,9 +362,10 @@ type Medium struct {
 	// owned flags the nodes this Medium simulates; nil (the sequential
 	// case) means all of them. Handlers, radio state, and deliveries
 	// exist only for owned nodes.
-	owned    []bool
-	outbox   []Ghost
-	ghostSeq uint64
+	owned     []bool
+	outbox    []Ghost
+	ghostSeq  uint64
+	delivered uint64 // cumulative successful frame deliveries
 
 	// tap, when set, observes every transmitted frame in decoded form
 	// (invariant checkers need packet contents, which TrafficSink
@@ -392,6 +393,12 @@ type Ghost struct {
 	// function of simulation state, never of goroutine arrival order.
 	Seq   uint64
 	Frame []byte
+	// X, Y, RangeFt are the transmitter's position and transmit range,
+	// exported so the engine can skip offering the ghost to tiles whose
+	// bounding box lies entirely beyond the range (such an insertion
+	// would be a no-op: no receiver there could hear the frame).
+	X, Y    float64
+	RangeFt float64
 }
 
 // Tap observes a successfully started transmission: the decoded packet
@@ -761,14 +768,18 @@ func (m *Medium) Transmit(src packet.NodeID, pkt packet.Packet, power int) (time
 		m.tap(src, pkt, air)
 	}
 	if row.boundary {
+		p := m.geo.pts[src]
 		m.outbox = append(m.outbox, Ghost{
-			Src:   src,
-			Kind:  t.kind,
-			Power: power,
-			Start: now,
-			End:   t.end,
-			Seq:   m.ghostSeq,
-			Frame: append([]byte(nil), t.frame...),
+			Src:     src,
+			Kind:    t.kind,
+			Power:   power,
+			Start:   now,
+			End:     t.end,
+			Seq:     m.ghostSeq,
+			Frame:   append([]byte(nil), t.frame...),
+			X:       p.X,
+			Y:       p.Y,
+			RangeFt: row.rangeFt,
 		})
 		m.ghostSeq++
 	}
@@ -911,6 +922,7 @@ func (m *Medium) finish(t *transmission) {
 				panic(fmt.Sprintf("radio: frame from node %v undecodable at finish: %v", t.src, err))
 			}
 		}
+		m.delivered++
 		m.sink.FrameReceived(r, t.src, t.kind, t.bytes)
 		if st.handler != nil {
 			st.handler(decoded, RxMeta{From: t.src, Bytes: t.bytes, At: m.kernel.Now()})
@@ -918,6 +930,13 @@ func (m *Medium) finish(t *transmission) {
 	}
 	m.recycle(t)
 }
+
+// Deliveries returns the cumulative count of successful frame
+// deliveries to this medium's nodes. It is a pure function of
+// simulation state (every term in the delivery decision is), which is
+// what lets the engine's repartitioner use per-window delivery deltas
+// as a load signal without breaking determinism.
+func (m *Medium) Deliveries() uint64 { return m.delivered }
 
 // linkBER computes the directed link's bit-error rate: a floor near
 // the transmitter rising exponentially to BERCeil at the communication

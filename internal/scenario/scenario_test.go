@@ -51,6 +51,11 @@ power = "sim"
 limit = "6h"
 shards = 2
 workers = 1
+tile_rows = 2
+tile_cols = 3
+repartition = true
+repartition_every = 8
+repartition_threshold = 1.5
 
 [battery]
 default = 0.9
@@ -96,6 +101,10 @@ func TestParseFullDocument(t *testing.T) {
 	if !reflect.DeepEqual(sc.SeedList(), []int64{7, 11, 13}) {
 		t.Fatalf("seeds = %v", sc.SeedList())
 	}
+	if sc.Run.TileRows != 2 || sc.Run.TileCols != 3 || !sc.Run.Repartition ||
+		sc.Run.RepartitionEvery != 8 || sc.Run.RepartitionThreshold != 1.5 {
+		t.Fatalf("tile knobs = %+v", sc.Run)
+	}
 	if sc.Battery == nil || len(sc.Battery.Rules) != 1 {
 		t.Fatalf("battery = %+v", sc.Battery)
 	}
@@ -140,6 +149,18 @@ kind = "points"
 points = [[0, 0], [10.5, 0], [0, 21]]
 [protocol]
 name = "deluge"
+`,
+		// A [run] section whose only content is the repartition flag:
+		// the encoder's run-section predicate must not drop it.
+		"repartition-only": `
+version = 1
+name = "rep"
+[topology]
+kind = "grid"
+rows = 4
+cols = 4
+[run]
+repartition = true
 `,
 	}
 	for name, doc := range docs {
@@ -272,6 +293,10 @@ func TestCompileClosures(t *testing.T) {
 	}
 	if setup.Shards != 2 || setup.Workers != 1 || setup.Seed != 7 {
 		t.Errorf("run params = shards %d workers %d seed %d", setup.Shards, setup.Workers, setup.Seed)
+	}
+	if setup.TileRows != 2 || setup.TileCols != 3 || !setup.Repartition ||
+		setup.RepartitionEvery != 8 || setup.RepartitionThreshold != 1.5 {
+		t.Errorf("tile knobs lost in compilation: %+v", setup)
 	}
 	if setup.Radio == nil || setup.Radio.TxRangeFeet[radio.PowerSim] != 30 {
 		t.Errorf("radio overlay missing: %+v", setup.Radio)

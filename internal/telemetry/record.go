@@ -32,6 +32,7 @@ const (
 	TypeStorage   = "storage"   // EEPROM read/write
 	TypeViolation = "violation" // online invariant breach
 	TypeFault     = "fault"     // scheduled fault-plan event
+	TypeLoad      = "load"      // engine per-period executor load sample
 	TypeSummary   = "summary"   // last line: final counter values
 )
 
@@ -89,6 +90,20 @@ type Record struct {
 	Nodes    int    `json:"nodes,omitempty"`
 	Packets  int    `json:"packets,omitempty"`
 	Protocol string `json:"protocol,omitempty"`
+
+	// Engine load-sample fields (TypeLoad only): one record per
+	// (report period, executor). Win is the lockstep window count at
+	// the end of the period, Shard the executor index, Tiles how many
+	// tiles it held, Events/Delivered the deterministic load it
+	// executed, WaitNs its wall-clock barrier wait (diagnostic only),
+	// and Migrations the tiles moved at the closing barrier.
+	Win        int   `json:"win,omitempty"`
+	Shard      int   `json:"shard,omitempty"`
+	Tiles      int   `json:"tiles,omitempty"`
+	Events     int64 `json:"events,omitempty"`
+	Delivered  int64 `json:"delivered,omitempty"`
+	WaitNs     int64 `json:"wait_ns,omitempty"`
+	Migrations int   `json:"migrations,omitempty"`
 
 	// Counters is the final counter snapshot (TypeSummary only). Keys
 	// are the same metric names the Prometheus dump uses.

@@ -62,6 +62,19 @@ func (r *Recorder) Violation(at time.Duration, id packet.NodeID, rule, detail st
 	r.s.Emit(Record{Type: TypeViolation, T: int64(at), Node: int(id), Rule: rule, Detail: detail})
 }
 
+// Load emits one engine load sample: executor shard held tiles tiles
+// over the report period ending at barrier (window lockstep windows
+// into the run), executed events kernel events, delivered delivered
+// frames, waited waitNs at barriers, and migrations tiles moved at the
+// closing barrier. The engine emits one record per executor per
+// period.
+func (r *Recorder) Load(barrier time.Duration, window, shard, tiles int, events, delivered, waitNs int64, migrations int) {
+	r.s.Emit(Record{
+		Type: TypeLoad, T: int64(barrier), Win: window, Shard: shard, Tiles: tiles,
+		Events: events, Delivered: delivered, WaitNs: waitNs, Migrations: migrations,
+	})
+}
+
 // Summary emits the final counter snapshot. Call it once, last.
 func (r *Recorder) Summary(counters map[string]int64) {
 	r.s.Emit(Record{Type: TypeSummary, T: int64(r.now()), Counters: counters})

@@ -39,6 +39,7 @@ func emitFixture(t *testing.T, s *Stream) {
 	rec.NodeEvent(7, 7*time.Second, node.Event{Kind: node.EventStoreErased})
 	rec.RadioState(4, 8*time.Second, false)
 	rec.Violation(9*time.Second, 5, "sender-exclusivity", "nodes 5 and 6 both sending segment 3")
+	rec.Load(9500*time.Millisecond, 310, 1, 4, 5200, 64, 120000, 2)
 	now = 10 * time.Second
 	rec.Summary(map[string]int64{"mnp_nodes": 15, "mnp_tx_frames_total": 1234})
 }
@@ -80,8 +81,8 @@ func TestGoldenStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 15 {
-		t.Fatalf("got %d records, want 15", len(recs))
+	if len(recs) != 16 {
+		t.Fatalf("got %d records, want 16", len(recs))
 	}
 	if recs[0].Type != TypeMeta || recs[0].V != SchemaVersion {
 		t.Errorf("first record = %+v, want meta with v=%d", recs[0], SchemaVersion)
@@ -100,6 +101,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Type: TypeStorage, Node: 2, Write: true, Seg: 4, Pkt: 127, Bytes: 22},
 		{Type: TypeViolation, Node: 3, Rule: "write-once", Detail: "slot (0,1) rewritten"},
 		{Type: TypeFault, T: 1, Kind: "crash", Detail: "crash node 5 at 20s"},
+		{Type: TypeLoad, T: 9500, Win: 310, Shard: 1, Tiles: 4, Events: 5200, Delivered: 64, WaitNs: 120000, Migrations: 2},
+		// Idle executor: an all-zero load row must still round-trip.
+		{Type: TypeLoad, Win: 32},
 		{Type: TypeSummary, Counters: map[string]int64{"a": 1, "b": -2}},
 		// All-zero payload: omitempty must round-trip.
 		{Type: TypeEvent},
@@ -123,7 +127,10 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			got.Rule != want.Rule || got.Detail != want.Detail ||
 			got.Name != want.Name || got.Seed != want.Seed ||
 			got.Nodes != want.Nodes || got.Packets != want.Packets ||
-			got.Protocol != want.Protocol || len(got.Counters) != len(want.Counters) {
+			got.Protocol != want.Protocol || len(got.Counters) != len(want.Counters) ||
+			got.Win != want.Win || got.Shard != want.Shard || got.Tiles != want.Tiles ||
+			got.Events != want.Events || got.Delivered != want.Delivered ||
+			got.WaitNs != want.WaitNs || got.Migrations != want.Migrations {
 			t.Errorf("round trip: got %+v, want %+v", got, want)
 		}
 		for k, v := range want.Counters {
