@@ -50,6 +50,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzScenarioParse' -fuzztime $(FUZZTIME) ./internal/scenario/
 	$(GO) test -run '^$$' -fuzz 'FuzzGridIndex' -fuzztime $(FUZZTIME) ./internal/topology/
 	$(GO) test -run '^$$' -fuzz 'FuzzTilePartition' -fuzztime $(FUZZTIME) ./internal/engine/
+	$(GO) test -run '^$$' -fuzz 'FuzzRLNCDecode' -fuzztime $(FUZZTIME) ./internal/rlnc/
 
 # bench runs the simulation-substrate micro-benchmarks plus the
 # end-to-end Figure 8 regeneration and the sharded-engine scaling
@@ -65,6 +66,8 @@ bench: build
 		-benchmem -benchtime 2000x . | tee bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkGeometryBuild' \
 		-benchmem -benchtime 20x . | tee -a bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkRLNCDecode' \
+		-benchmem -benchtime 100x ./internal/rlnc/ | tee -a bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8ActiveRadioTime$$' \
 		-benchmem -benchtime 2x . | tee -a bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineGrid' \

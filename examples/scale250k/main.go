@@ -90,7 +90,7 @@ func main() {
 	fmt.Printf("window:   %v simulated in %v wall\n", *window, wall.Round(time.Millisecond))
 	fmt.Printf("          %d frames sent, wavefront reached %d motes\n", frames, reached)
 	fmt.Printf("          link cache: %d rows resident, %.1f%% hit rate (%d hits, %d misses)\n",
-		entries, 100*float64(hits)/float64(hits+misses), hits, misses)
+		entries, 100*res.Medium.CacheHitRate(), hits, misses)
 	fmt.Printf("          heap after run: %.0f MB\n", heapMB())
 	runtime.KeepAlive(res)
 }

@@ -402,6 +402,44 @@ limit = "2h"
 	}
 }
 
+// TestCheckpointRejectsStaleRecords: a checkpoint whose header matches
+// the plan but whose body holds a record for a cell the plan does not
+// expand to (a hand-edited file, or records spliced in from another
+// campaign) must fail naming the offending key — not silently re-run
+// or carry the foreign result into the report.
+func TestCheckpointRejectsStaleRecords(t *testing.T) {
+	dir := t.TempDir()
+	p := parseTestPlan(t, `
+version = 1
+seeds = [1, 2]
+[scenario]
+[scenario.topology]
+kind = "grid"
+rows = 2
+cols = 2
+[scenario.run]
+image_packets = 4
+limit = "2h"
+`)
+	path := filepath.Join(dir, CheckpointFile)
+	hdr, _ := json.Marshal(checkpointHeader{Campaign: p.Name, Schema: Version, Fingerprint: p.Fingerprint()})
+	good, _ := json.Marshal(CellResult{Key: "mnp_s1_grid-2x2", Protocol: "mnp", Seed: 1,
+		Topology: "grid-2x2", Nodes: 4, Covered: 4, Completed: true, TimeMS: 1000, Tx: 10, Rx: 10})
+	foreign, _ := json.Marshal(CellResult{Key: "deluge_s9_grid-5x5", Protocol: "deluge", Seed: 9,
+		Topology: "grid-5x5", Nodes: 25, Covered: 25, Completed: true, TimeMS: 2000, Tx: 99, Rx: 99})
+	content := string(hdr) + "\n" + string(good) + "\n" + string(foreign) + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := (&Runner{Plan: p, Dir: dir}).Run()
+	if err == nil || !strings.Contains(err.Error(), "deluge_s9_grid-5x5") {
+		t.Fatalf("stale checkpoint record accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("error does not explain the failure: %v", err)
+	}
+}
+
 func TestFingerprintStable(t *testing.T) {
 	a := parseTestPlan(t, planDoc)
 	b := parseTestPlan(t, planDoc)

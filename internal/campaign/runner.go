@@ -40,7 +40,8 @@ type CellResult struct {
 	Collisions int `json:"collisions"`
 	// RadioOnMS is radio-on time summed over nodes, in milliseconds.
 	RadioOnMS int64 `json:"radio_on_ms"`
-	// EnergyNAh is the fleet's radio energy in nAh (summed ledgers).
+	// EnergyNAh is the fleet's radio + decode energy in nAh (summed
+	// ledgers; decode is zero for uncoded protocols).
 	EnergyNAh float64 `json:"energy_nah"`
 	// Err records a failed cell (compile error, invariant violation).
 	Err string `json:"err,omitempty"`
@@ -116,12 +117,22 @@ func (r *Runner) Run() (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Drop checkpoint entries for keys the plan no longer expands to
-		// (impossible under the fingerprint check, but cheap to enforce).
+		// A finished-cell record whose key the plan does not expand to
+		// means the checkpoint and the plan disagree even though the
+		// fingerprint line matched — a hand-edited file, or records
+		// spliced in from another campaign. Resuming would silently
+		// re-run some cells and carry foreign results into the report;
+		// fail with the offending keys instead.
+		var stale []string
 		for key := range done {
 			if !containsKey(cells, key) {
-				delete(done, key)
+				stale = append(stale, key)
 			}
+		}
+		if len(stale) > 0 {
+			sort.Strings(stale)
+			return nil, fmt.Errorf("campaign %s: %s holds %d cell(s) the plan does not expand to (%s) — the checkpoint is stale or was edited; use a fresh directory or delete it",
+				r.Plan.Name, path, len(stale), strings.Join(stale, ", "))
 		}
 		ckpt, err = openCheckpoint(path, r.Plan, len(done) > 0)
 		if err != nil {
@@ -265,7 +276,8 @@ func RunCell(c Cell) CellResult {
 	out.Collisions = snap.Collisions
 	out.RadioOnMS = snap.RadioOnTotal.Milliseconds()
 	for id := 0; id < snap.Nodes; id++ {
-		out.EnergyNAh += res.Collector.Ledger(packet.NodeID(id), until).RadioCharge()
+		l := res.Collector.Ledger(packet.NodeID(id), until)
+		out.EnergyNAh += l.RadioCharge() + l.DecodeCharge()
 	}
 	return out
 }

@@ -17,6 +17,7 @@ import (
 	// core is imported by name for the typed MNP tuning hook.
 	_ "mnp/internal/deluge"
 	_ "mnp/internal/moap"
+	_ "mnp/internal/rlnc"
 	_ "mnp/internal/xnp"
 
 	"mnp/internal/core"
@@ -43,6 +44,7 @@ const (
 	ProtocolDeluge
 	ProtocolMOAP
 	ProtocolXNP
+	ProtocolRLNC
 )
 
 // String returns the protocol name.
@@ -56,6 +58,8 @@ func (p ProtocolKind) String() string {
 		return "MOAP"
 	case ProtocolXNP:
 		return "XNP"
+	case ProtocolRLNC:
+		return "RLNC"
 	default:
 		return fmt.Sprintf("Protocol(%d)", int(p))
 	}
@@ -73,6 +77,8 @@ func (p ProtocolKind) RegistryName() string {
 		return "moap"
 	case ProtocolXNP:
 		return "xnp"
+	case ProtocolRLNC:
+		return "rlnc"
 	default:
 		return ""
 	}
@@ -81,7 +87,7 @@ func (p ProtocolKind) RegistryName() string {
 // ProtocolByName resolves a registry name (case-insensitive) to its
 // kind — the inverse of RegistryName, used by scenario files and CLIs.
 func ProtocolByName(name string) (ProtocolKind, bool) {
-	for _, p := range []ProtocolKind{ProtocolMNP, ProtocolDeluge, ProtocolMOAP, ProtocolXNP} {
+	for _, p := range []ProtocolKind{ProtocolMNP, ProtocolDeluge, ProtocolMOAP, ProtocolXNP, ProtocolRLNC} {
 		if strings.EqualFold(name, p.RegistryName()) {
 			return p, true
 		}
@@ -603,6 +609,7 @@ func Build(s Setup) (*Result, error) {
 			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
 		}
 	}
+	armImageCheck(checker, s.Protocol, img, nw)
 	return &Result{
 		Setup:     s,
 		Layout:    layout,
@@ -615,6 +622,32 @@ func Build(s Setup) (*Result, error) {
 
 		Invariants: checker,
 	}, nil
+}
+
+// armImageCheck installs the segment-image-integrity invariant on a
+// checker: stored payloads of every completed segment must match the
+// source image byte-for-byte. Deluge is excluded — its EEPROM slots
+// follow page geometry, not the image's (seg, pkt) layout. The stored
+// hook reads the node's EEPROM directly (not through the runtime), so
+// checking stays observation-only: no StorageOp events, no energy
+// charge, no behavior perturbation.
+func armImageCheck(checker *invariant.Checker, proto ProtocolKind, img *image.Image, nw *node.Network) {
+	if checker == nil || proto == ProtocolDeluge {
+		return
+	}
+	checker.SetImageCheck(
+		func(seg, pkt int) ([]byte, bool) {
+			p, err := img.Payload(seg, pkt)
+			return p, err == nil
+		},
+		func(id packet.NodeID, seg, pkt int) []byte {
+			n := nw.Node(id)
+			if n == nil {
+				return nil
+			}
+			return n.EEPROM().Read(seg, pkt)
+		},
+	)
 }
 
 // protocolFactory builds the per-node protocol factory shared by the
@@ -850,6 +883,7 @@ func buildSharded(s Setup, img *image.Image, layout *topology.Layout) (*Result, 
 			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
 		}
 	}
+	armImageCheck(checker, s.Protocol, img, nw)
 	res.Setup = s
 	res.Layout = layout
 	res.Network = nw
@@ -889,9 +923,9 @@ func (r *Result) VerifyInvariants() error {
 
 // VerifyImages checks the reliability requirement on every node and
 // returns an error naming the first violation. Only MNP-geometry
-// protocols (MNP, XNP, MOAP, which all use 128-packet segment slots)
-// are verified packet-by-packet; Deluge uses page-numbered slots and
-// is verified by completion plus write-once.
+// protocols (MNP, XNP, MOAP, RLNC, which all use 128-packet segment
+// slots) are verified packet-by-packet; Deluge uses page-numbered
+// slots and is verified by completion plus write-once.
 func (r *Result) VerifyImages() error {
 	for _, n := range r.Network.Nodes {
 		if n.Dead() {

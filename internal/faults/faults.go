@@ -57,7 +57,8 @@ const (
 )
 
 // Wildcard targets every non-base node in node-valued fields that
-// accept it (KindEEPROM).
+// accept it (KindEEPROM), and any node at all in KindDegrade endpoints
+// — degrade:*->* is the idiom for uniform network-wide loss.
 const Wildcard = packet.NodeID(0xFFFF)
 
 // Event is one scheduled fault.
@@ -98,9 +99,25 @@ func Partition(group []packet.NodeID, from, to time.Duration) Event {
 }
 
 // DegradeLink adds drop delivery loss on src->dst during [from, to);
-// bidi extends it to dst->src.
+// bidi extends it to dst->src. Either endpoint may be Wildcard:
+// DegradeLink(Wildcard, Wildcard, ...) imposes uniform loss on every
+// link, the knob loss-sweep campaigns turn.
 func DegradeLink(src, dst packet.NodeID, bidi bool, from, to time.Duration, drop float64) Event {
 	return Event{Kind: KindDegrade, Src: src, Dst: dst, Bidirectional: bidi, At: from, Until: to, Drop: drop}
+}
+
+// degradeMatch builds the per-frame drop function of one degrade
+// event, shared by the sequential and sharded appliers. Wildcard
+// endpoints match any node.
+func degradeMatch(ev Event) func(src, dst packet.NodeID) float64 {
+	end := func(want, got packet.NodeID) bool { return want == Wildcard || want == got }
+	return func(src, dst packet.NodeID) float64 {
+		if (end(ev.Src, src) && end(ev.Dst, dst)) ||
+			(ev.Bidirectional && end(ev.Dst, src) && end(ev.Src, dst)) {
+			return ev.Drop
+		}
+		return 0
+	}
 }
 
 // EEPROMErrors makes EEPROM writes on id (or every non-base node if id
@@ -232,13 +249,7 @@ func (p *Plan) Apply(env Env) error {
 		case KindDegrade:
 			rules = append(rules, linkRule{
 				from: ev.At, to: ev.Until,
-				match: func(src, dst packet.NodeID) float64 {
-					if (src == ev.Src && dst == ev.Dst) ||
-						(ev.Bidirectional && src == ev.Dst && dst == ev.Src) {
-						return ev.Drop
-					}
-					return 0
-				},
+				match: degradeMatch(ev),
 			})
 		case KindEEPROM:
 			if err := p.applyEEPROM(env, ev, rng); err != nil {
@@ -346,13 +357,7 @@ func (p *Plan) ApplySharded(env ShardedEnv) error {
 		case KindDegrade:
 			rules = append(rules, linkRule{
 				from: ev.At, to: ev.Until,
-				match: func(src, dst packet.NodeID) float64 {
-					if (src == ev.Src && dst == ev.Dst) ||
-						(ev.Bidirectional && src == ev.Dst && dst == ev.Src) {
-						return ev.Drop
-					}
-					return 0
-				},
+				match: degradeMatch(ev),
 			})
 		case KindEEPROM:
 			if err := p.applyEEPROMSharded(env, ev); err != nil {
@@ -534,7 +539,13 @@ func (ev Event) Describe() string {
 		if ev.Bidirectional {
 			arrow = "<->"
 		}
-		return fmt.Sprintf("degrade %v%s%v %.0f%% [%v, %v)", ev.Src, arrow, ev.Dst, ev.Drop*100, ev.At, ev.Until)
+		end := func(id packet.NodeID) string {
+			if id == Wildcard {
+				return "*"
+			}
+			return fmt.Sprintf("%v", id)
+		}
+		return fmt.Sprintf("degrade %s%s%s %.0f%% [%v, %v)", end(ev.Src), arrow, end(ev.Dst), ev.Drop*100, ev.At, ev.Until)
 	case KindEEPROM:
 		who := fmt.Sprintf("%v", ev.Node)
 		if ev.Node == Wildcard {

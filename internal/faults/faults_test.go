@@ -43,6 +43,54 @@ func TestParseSpecGrammar(t *testing.T) {
 	}
 }
 
+// Wildcard degrade endpoints: grammar, matcher semantics, and log
+// rendering.
+func TestDegradeWildcard(t *testing.T) {
+	plan, err := ParseSpec("degrade:*->*@0s-2h:0.3; degrade:5->*@10s-50s:0.8; degrade:*<->7@10s-50s:0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		DegradeLink(Wildcard, Wildcard, false, 0, 2*time.Hour, 0.3),
+		DegradeLink(5, Wildcard, false, 10*time.Second, 50*time.Second, 0.8),
+		DegradeLink(Wildcard, 7, true, 10*time.Second, 50*time.Second, 0.4),
+	}
+	for i, w := range want {
+		got := plan.Events[i]
+		if got.Src != w.Src || got.Dst != w.Dst || got.Bidirectional != w.Bidirectional || got.Drop != w.Drop {
+			t.Errorf("event %d = %+v, want %+v", i, got, w)
+		}
+	}
+
+	all := degradeMatch(want[0])
+	for _, link := range [][2]packet.NodeID{{0, 1}, {9, 3}, {7, 5}} {
+		if d := all(link[0], link[1]); d != 0.3 {
+			t.Errorf("*->* match(%v, %v) = %v, want 0.3", link[0], link[1], d)
+		}
+	}
+	out := degradeMatch(want[1])
+	if d := out(5, 9); d != 0.8 {
+		t.Errorf("5->* match(5, 9) = %v, want 0.8", d)
+	}
+	if d := out(9, 5); d != 0 {
+		t.Errorf("5->* match(9, 5) = %v, want 0 (unidirectional)", d)
+	}
+	into := degradeMatch(want[2])
+	if d := into(3, 7); d != 0.4 {
+		t.Errorf("*<->7 match(3, 7) = %v, want 0.4", d)
+	}
+	if d := into(7, 3); d != 0.4 {
+		t.Errorf("*<->7 match(7, 3) = %v, want 0.4 (bidirectional)", d)
+	}
+	if d := into(3, 4); d != 0 {
+		t.Errorf("*<->7 match(3, 4) = %v, want 0", d)
+	}
+
+	if s := want[0].Describe(); !strings.Contains(s, "degrade *->* 30%") {
+		t.Errorf("Describe() = %q, want wildcard rendering", s)
+	}
+}
+
 func TestParseSpecRejectsMalformed(t *testing.T) {
 	for _, spec := range []string{
 		"",

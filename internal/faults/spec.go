@@ -17,6 +17,8 @@ import (
 //	partition:0-31@60s-120s      isolate nodes 0..31 from the rest
 //	degrade:5->7@10s-50s:0.8     drop 80% of 5->7 deliveries
 //	degrade:5<->7@10s-50s:0.8    same, both directions
+//	degrade:*->*@0s-2h:0.3       30% loss on every link (uniform-loss sweeps)
+//	degrade:5->*@10s-50s:0.8     every link out of node 5
 //	eeprom:*:0.01                1% write-error rate, all non-base nodes
 //	eeprom:9:0.05@20s-80s        5% on node 9, windowed
 //	randkill:6@20s-145s          6 random crashes spread over the window
@@ -120,11 +122,11 @@ func parseEvent(item string) (Event, error) {
 		if !ok {
 			return Event{}, fmt.Errorf("want SRC->DST or SRC<->DST")
 		}
-		s, err := parseNode(src)
+		s, err := parseNodeOrWildcard(src)
 		if err != nil {
 			return Event{}, err
 		}
-		d, err := parseNode(dst)
+		d, err := parseNodeOrWildcard(dst)
 		if err != nil {
 			return Event{}, err
 		}
@@ -182,6 +184,13 @@ func parseEvent(item string) (Event, error) {
 	default:
 		return Event{}, fmt.Errorf("unknown fault kind %q", kind)
 	}
+}
+
+func parseNodeOrWildcard(s string) (packet.NodeID, error) {
+	if strings.TrimSpace(s) == "*" {
+		return Wildcard, nil
+	}
+	return parseNode(s)
 }
 
 func parseNode(s string) (packet.NodeID, error) {

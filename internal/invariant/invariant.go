@@ -19,6 +19,14 @@
 //  5. Sender exclusivity: at most one active data sender per radio
 //     neighborhood, within a small tolerance the paper itself concedes
 //     to time-varying links.
+//  6. Rank monotonicity (coded dissemination): the (complete segments,
+//     decode rank) pair a node advertises never decreases within a
+//     program epoch — Gaussian elimination only accumulates. A reboot
+//     resets the RAM-resident rank but not the EEPROM-backed segment
+//     count.
+//  7. Segment-image integrity (opt-in via SetImageCheck): every
+//     completed segment's stored payloads are byte-identical to the
+//     source image.
 //
 // The checker keeps its own bounded trace ring; every violation
 // carries an excerpt of the offending node's recent history so a
@@ -26,6 +34,7 @@
 package invariant
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"time"
@@ -106,6 +115,10 @@ type nodeState struct {
 	// the node is still asleep at a strictly later instant.
 	pendingRadioOn   bool
 	pendingRadioOnAt time.Duration
+	// rlncSegs/rlncRank track the last advertised coded-dissemination
+	// progress for the rank-monotonicity check.
+	rlncSegs int
+	rlncRank int
 }
 
 // senderWindow is one in-flight data transmission.
@@ -126,6 +139,11 @@ type Checker struct {
 	activeData []senderWindow
 	overlaps   int
 	overBudget bool
+
+	// Segment-image integrity hooks (nil = check disabled); see
+	// SetImageCheck.
+	imgExpected func(seg, pkt int) ([]byte, bool)
+	imgStored   func(id packet.NodeID, seg, pkt int) []byte
 }
 
 // New builds a checker. Wire it as (part of) the node observer and,
@@ -230,18 +248,24 @@ func (c *Checker) NodeEvent(id packet.NodeID, at time.Duration, ev node.Event) {
 		if ev.Seg > st.lastSeg {
 			st.lastSeg = ev.Seg
 		}
+		c.checkSegmentImage(id, ev.Seg)
 	case node.EventStoreErased:
-		// New program epoch: write-once and segment order restart.
+		// New program epoch: write-once, segment order, and coded
+		// progress restart.
 		st.epoch++
 		st.writes = make(map[int]int)
 		st.perSeg = make(map[int]int)
 		st.lastSeg = 0
+		st.rlncSegs = 0
+		st.rlncRank = 0
 	case node.EventRebooted:
 		// RAM state is gone; the protocol state is unknown until the
-		// fresh instance reports one. EEPROM-derived state persists.
+		// fresh instance reports one. EEPROM-derived state persists —
+		// including completed segments — but the decode rank was RAM.
 		st.state = ""
 		st.asleep = false
 		st.pendingRadioOn = false
+		st.rlncRank = 0
 	}
 }
 
@@ -288,6 +312,9 @@ func (c *Checker) PacketSent(src packet.NodeID, p packet.Packet, air time.Durati
 	if adv, ok := p.(*packet.Advertise); ok {
 		c.checkAdvertise(src, st, adv)
 	}
+	if adv, ok := p.(*packet.RlncAdv); ok {
+		c.checkRlncAdv(src, st, adv)
+	}
 	if c.cfg.Neighbor != nil && c.cfg.Airtime != nil &&
 		packet.ClassOf(p.Kind()) == packet.ClassData {
 		c.checkSenderExclusive(src, now, air)
@@ -322,6 +349,40 @@ func (c *Checker) checkAdvertise(src packet.NodeID, st *nodeState, adv *packet.A
 	}
 }
 
+// checkRlncAdv validates coded-dissemination progress: the advertised
+// (complete segments, rank) pair is lexicographically non-decreasing
+// within a program epoch, and every advertised-complete segment is
+// fully held in EEPROM (the coded analogue of advertise-soundness).
+func (c *Checker) checkRlncAdv(src packet.NodeID, st *nodeState, adv *packet.RlncAdv) {
+	segs, rank := int(adv.CompleteSegs), int(adv.Rank)
+	if segs < st.rlncSegs || (segs == st.rlncSegs && rank < st.rlncRank) {
+		c.violate(src, "rlnc-rank-monotone",
+			"advertised (segments %d, rank %d) after (segments %d, rank %d) in program epoch %d",
+			segs, rank, st.rlncSegs, st.rlncRank, st.epoch)
+	}
+	if segs > st.rlncSegs {
+		st.rlncSegs, st.rlncRank = segs, rank
+	} else if segs == st.rlncSegs && rank > st.rlncRank {
+		st.rlncRank = rank
+	}
+	nominal, total := int(adv.SegPackets), int(adv.TotalPackets)
+	if nominal <= 0 || total <= 0 {
+		return // a bootstrap advertisement carries no geometry to check
+	}
+	for s := 1; s <= segs; s++ {
+		want := total - (s-1)*nominal
+		if want > nominal {
+			want = nominal
+		}
+		if want <= 0 || st.perSeg[s] < want {
+			c.violate(src, "advertise-soundness",
+				"advertised %d complete coded segments of program %d but holds %d/%d packets of segment %d",
+				segs, adv.ProgramID, st.perSeg[s], want, s)
+			return
+		}
+	}
+}
+
 func (c *Checker) checkSenderExclusive(src packet.NodeID, now time.Duration, air time.Duration) {
 	live := c.activeData[:0]
 	for _, w := range c.activeData {
@@ -342,6 +403,48 @@ func (c *Checker) checkSenderExclusive(src packet.NodeID, now time.Duration, air
 		}
 	}
 	c.activeData = append(c.activeData, senderWindow{id: src, until: now + air})
+}
+
+// SetImageCheck arms the segment-image-integrity rule: on every
+// EventGotSegment the completed segment's stored payloads are compared
+// byte-for-byte against the source image. expected returns the source
+// payload of (seg, pkt) and false past the segment's end; stored
+// returns the node's EEPROM payload for the slot. The rule only
+// applies to protocols whose EEPROM slots mirror image (seg, pkt)
+// geometry — Deluge's pages do not, so the experiment layer leaves it
+// unarmed there.
+func (c *Checker) SetImageCheck(
+	expected func(seg, pkt int) ([]byte, bool),
+	stored func(id packet.NodeID, seg, pkt int) []byte,
+) {
+	c.imgExpected, c.imgStored = expected, stored
+}
+
+// checkSegmentImage verifies a freshly completed segment against the
+// source image. A nil stored payload is skipped, not failed: in
+// sharded runs observer replay happens at barriers, so a racing
+// new-epoch erase can empty a slot between the completion event and
+// this read.
+func (c *Checker) checkSegmentImage(id packet.NodeID, seg int) {
+	if c.imgExpected == nil || c.imgStored == nil {
+		return
+	}
+	for pkt := 0; ; pkt++ {
+		want, ok := c.imgExpected(seg, pkt)
+		if !ok {
+			return
+		}
+		got := c.imgStored(id, seg, pkt)
+		if got == nil {
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			c.violate(id, "segment-image-integrity",
+				"segment %d packet %d differs from the source image (%d bytes stored, %d expected)",
+				seg, pkt, len(got), len(want))
+			return
+		}
+	}
 }
 
 // Overlaps returns the count of same-neighborhood concurrent data

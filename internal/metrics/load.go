@@ -7,7 +7,11 @@ package metrics
 
 // Imbalance returns the max/mean ratio of a per-shard load vector: 1
 // for a perfectly balanced period, k when the busiest executor carries
-// k times the mean, and 0 for an idle (all-zero) vector.
+// k times the mean. An idle (all-zero) vector is perfectly balanced by
+// definition and yields 1, not 0 — max/mean is a ratio ≥ 1 whenever it
+// is defined, and callers compare it against repartition thresholds
+// that an artificial 0 would always pass. Only an empty vector (no
+// executors) returns 0.
 func Imbalance(loads []int64) float64 {
 	if len(loads) == 0 {
 		return 0
@@ -20,7 +24,7 @@ func Imbalance(loads []int64) float64 {
 		}
 	}
 	if total == 0 {
-		return 0
+		return 1
 	}
 	mean := float64(total) / float64(len(loads))
 	return float64(max) / mean
@@ -41,10 +45,14 @@ func SummarizeLoads(periods [][]int64) LoadSummary {
 	var s LoadSummary
 	var sum float64
 	for _, loads := range periods {
-		im := Imbalance(loads)
-		if im == 0 {
-			continue
+		var total int64
+		for _, l := range loads {
+			total += l
 		}
+		if total == 0 {
+			continue // idle or empty: no load to summarize
+		}
+		im := Imbalance(loads)
 		s.Periods++
 		sum += im
 		if im > s.Max {

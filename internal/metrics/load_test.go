@@ -12,7 +12,11 @@ func TestImbalance(t *testing.T) {
 		want  float64
 	}{
 		{"empty", nil, 0},
-		{"idle", []int64{0, 0, 0}, 0},
+		// All-zero is perfectly balanced, not pathological: the ratio
+		// must stay ≥ 1 wherever it is defined so threshold comparisons
+		// (im > 1.5 ⇒ repartition) never fire on an idle period.
+		{"idle", []int64{0, 0, 0}, 1},
+		{"idle-single", []int64{0}, 1},
 		{"balanced", []int64{5, 5, 5, 5}, 1},
 		{"single", []int64{7}, 1},
 		{"one-does-all", []int64{12, 0, 0, 0}, 4},

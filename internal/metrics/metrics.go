@@ -56,6 +56,7 @@ type nodeStats struct {
 	sawAdv           bool
 	eepromReadBytes  int
 	eepromWriteBytes int
+	decodeOps        int
 	gotCodeAt        time.Duration
 	completed        bool
 	parent           packet.NodeID
@@ -191,6 +192,8 @@ func (c *Collector) NodeEvent(id packet.NodeID, at time.Duration, ev node.Event)
 		if _, ok := st.segTimes[ev.Seg]; !ok {
 			st.segTimes[ev.Seg] = at
 		}
+	case node.EventDecodeOps:
+		st.decodeOps += ev.Ops
 	}
 }
 
@@ -344,6 +347,7 @@ func (c *Collector) Ledger(id packet.NodeID, until time.Duration) *energy.Ledger
 	l.AddIdle(idle)
 	l.AddEEPROMWrite(st.eepromWriteBytes)
 	l.AddEEPROMRead(st.eepromReadBytes)
+	l.AddDecode(st.decodeOps)
 	return l
 }
 
@@ -471,6 +475,9 @@ type Snapshot struct {
 	TxByClass, RxByClass map[packet.Class]int
 	// EEPROMReadBytes and EEPROMWriteBytes are whole-network flash traffic.
 	EEPROMReadBytes, EEPROMWriteBytes int
+	// DecodeOps counts GF(256) row operations spent decoding coded
+	// frames (zero for the uncoded protocols).
+	DecodeOps int
 	// SenderEvents counts became-sender transitions (won competitions).
 	SenderEvents int
 	// ConcurrencyViolations counts same-neighborhood concurrent data sends.
@@ -506,6 +513,7 @@ func (c *Collector) Snapshot(until time.Duration) Snapshot {
 		}
 		s.EEPROMReadBytes += st.eepromReadBytes
 		s.EEPROMWriteBytes += st.eepromWriteBytes
+		s.DecodeOps += st.decodeOps
 		s.RadioOnTotal += c.ActiveRadioTime(packet.NodeID(i), 0, until)
 		for seg := range st.segTimes {
 			s.SegmentCompletions[seg]++

@@ -93,14 +93,16 @@ const (
 	EventBecameSender
 	EventRebooted
 	EventStoreErased
+	EventDecodeOps
 )
 
 // Event is a protocol observation routed to the Observer.
 type Event struct {
 	Kind  EventKind
 	State string        // EventStateChange: new state name
-	Seg   int           // EventGotSegment / EventBecameSender: segment ID
+	Seg   int           // EventGotSegment / EventBecameSender / EventDecodeOps: segment ID
 	Peer  packet.NodeID // EventParentSet: the parent
+	Ops   int           // EventDecodeOps: GF(256) row operations spent decoding
 }
 
 // Observer receives per-node observations for metrics collection.

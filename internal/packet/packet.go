@@ -65,6 +65,10 @@ const (
 	KindXnpData
 	KindXnpQueryStatus
 	KindXnpStatus
+
+	// Rateless coded dissemination (rlnc).
+	KindRlncAdv
+	KindRlncData
 )
 
 var kindNames = map[Kind]string{
@@ -86,6 +90,8 @@ var kindNames = map[Kind]string{
 	KindXnpData:         "XnpData",
 	KindXnpQueryStatus:  "XnpQueryStatus",
 	KindXnpStatus:       "XnpStatus",
+	KindRlncAdv:         "RlncAdv",
+	KindRlncData:        "RlncData",
 }
 
 // String returns the message-kind name.
@@ -111,11 +117,11 @@ const (
 // ClassOf maps a kind to its accounting class.
 func ClassOf(k Kind) Class {
 	switch k {
-	case KindAdvertise, KindDelugeAdv, KindMoapPublish:
+	case KindAdvertise, KindDelugeAdv, KindMoapPublish, KindRlncAdv:
 		return ClassAdvertisement
 	case KindDownloadRequest, KindDelugeReq, KindMoapSubscribe, KindMoapNak, KindRepairRequest:
 		return ClassRequest
-	case KindData, KindDelugeData, KindMoapData, KindXnpData:
+	case KindData, KindDelugeData, KindMoapData, KindXnpData, KindRlncData:
 		return ClassData
 	default:
 		return ClassControl
@@ -277,6 +283,10 @@ func newByKind(k Kind) (Packet, error) {
 		return &XnpQueryStatus{}, nil
 	case KindXnpStatus:
 		return &XnpStatus{}, nil
+	case KindRlncAdv:
+		return &RlncAdv{}, nil
+	case KindRlncData:
+		return &RlncData{}, nil
 	default:
 		return nil, fmt.Errorf("packet: unknown kind %d", uint8(k))
 	}

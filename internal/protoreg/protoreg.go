@@ -96,11 +96,16 @@ func ValidateOptions(name string, options map[string]string) error {
 // CheckUnused), parses it into the destination, and accumulates the
 // first error.
 
-// Opts wraps an option map with single-error accumulation.
+// Opts wraps an option map with single-error accumulation. Parsed
+// values are buffered and committed by Err() only when the whole map
+// decoded cleanly — a bad key must not leave the caller's config
+// half-mutated, because builders validate against the same config
+// value they then construct from.
 type Opts struct {
-	m    map[string]string
-	used map[string]bool
-	err  error
+	m       map[string]string
+	used    map[string]bool
+	err     error
+	pending []func() // deferred assignments, applied atomically by Err
 }
 
 // NewOpts wraps an option map for decoding.
@@ -130,7 +135,7 @@ func (o *Opts) Bool(key string, dst *bool) {
 			o.fail(key, v, err)
 			return
 		}
-		*dst = b
+		o.pending = append(o.pending, func() { *dst = b })
 	}
 }
 
@@ -142,7 +147,7 @@ func (o *Opts) Int(key string, dst *int) {
 			o.fail(key, v, err)
 			return
 		}
-		*dst = n
+		o.pending = append(o.pending, func() { *dst = n })
 	}
 }
 
@@ -154,7 +159,7 @@ func (o *Opts) Float(key string, dst *float64) {
 			o.fail(key, v, err)
 			return
 		}
-		*dst = f
+		o.pending = append(o.pending, func() { *dst = f })
 	}
 }
 
@@ -166,12 +171,14 @@ func (o *Opts) Duration(key string, dst *time.Duration) {
 			o.fail(key, v, err)
 			return
 		}
-		*dst = d
+		o.pending = append(o.pending, func() { *dst = d })
 	}
 }
 
 // Err returns the first decode error plus an unknown-key check: every
 // key the builder did not consume is a typo worth rejecting loudly.
+// Only when both checks pass are the buffered assignments applied, so
+// an erroring map leaves every destination untouched.
 func (o *Opts) Err() error {
 	if o.err != nil {
 		return o.err
@@ -186,5 +193,9 @@ func (o *Opts) Err() error {
 		sort.Strings(unknown)
 		return fmt.Errorf("unknown option %s", strings.Join(unknown, ", "))
 	}
+	for _, commit := range o.pending {
+		commit()
+	}
+	o.pending = nil
 	return nil
 }

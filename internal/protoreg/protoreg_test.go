@@ -10,11 +10,12 @@ import (
 	_ "mnp/internal/moap"
 	"mnp/internal/packet"
 	"mnp/internal/protoreg"
+	_ "mnp/internal/rlnc"
 	_ "mnp/internal/xnp"
 )
 
 func TestAllProtocolsRegistered(t *testing.T) {
-	want := []string{"deluge", "mnp", "moap", "xnp"}
+	want := []string{"deluge", "mnp", "moap", "rlnc", "xnp"}
 	got := protoreg.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -72,6 +73,56 @@ func TestValidateOptions(t *testing.T) {
 		}
 		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
 			t.Errorf("%s %v: error %v, want substring %q", c.proto, c.options, err, c.wantErr)
+		}
+	}
+}
+
+// TestOptsAtomicCommit pins the all-or-nothing contract: an option map
+// with any bad or unknown key must leave every destination exactly as
+// it was, even when other keys in the same map parsed fine. (The old
+// behavior applied values eagerly in map-iteration order, so a failing
+// Build could leave a half-mutated Config behind — harmless for
+// builders that discard it, a haunting for any that reuse it.)
+func TestOptsAtomicCommit(t *testing.T) {
+	type config struct {
+		sleep    bool
+		count    int
+		rate     float64
+		interval time.Duration
+	}
+	base := config{sleep: true, count: 3, rate: 0.5, interval: time.Second}
+	decode := func(m map[string]string) (config, error) {
+		cfg := base
+		o := protoreg.NewOpts(m)
+		o.Bool("sleep", &cfg.sleep)
+		o.Int("count", &cfg.count)
+		o.Float("rate", &cfg.rate)
+		o.Duration("interval", &cfg.interval)
+		return cfg, o.Err()
+	}
+
+	good := map[string]string{"sleep": "false", "count": "9", "rate": "1.25", "interval": "250ms"}
+	cfg, err := decode(good)
+	if err != nil {
+		t.Fatalf("clean map: %v", err)
+	}
+	if want := (config{false, 9, 1.25, 250 * time.Millisecond}); cfg != want {
+		t.Fatalf("clean map: cfg = %+v, want %+v", cfg, want)
+	}
+
+	bad := []map[string]string{
+		{"sleep": "false", "count": "nine"},          // parse error after a good key
+		{"count": "9", "sleep": "maybe"},             // parse error, other key good
+		{"count": "9", "rate": "1.25", "typo": "1"},  // unknown key, all others good
+		{"interval": "250ms", "count": "9", "x": ""}, // unknown empty-valued key
+	}
+	for _, m := range bad {
+		cfg, err := decode(m)
+		if err == nil {
+			t.Fatalf("map %v: expected error", m)
+		}
+		if cfg != base {
+			t.Fatalf("map %v: config mutated to %+v despite error %v; want untouched %+v", m, cfg, err, base)
 		}
 	}
 }

@@ -125,6 +125,38 @@ func TestLinkCacheEvictionIsInvisible(t *testing.T) {
 	}
 }
 
+// CacheHitRate is 0 before the first lookup (not NaN), and tracks
+// hits/(hits+misses) afterwards.
+func TestCacheHitRateDefinedBeforeFirstLookup(t *testing.T) {
+	layout, err := topology.Grid(2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMedium(sim.New(1), layout, DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.CacheHitRate(); r != 0 {
+		t.Fatalf("pristine medium: CacheHitRate() = %v, want 0", r)
+	}
+	if _, err := m.linkRowFor(PowerSim, 0); err != nil { // miss
+		t.Fatal(err)
+	}
+	if r := m.CacheHitRate(); r != 0 {
+		t.Fatalf("after one miss: CacheHitRate() = %v, want 0", r)
+	}
+	if _, err := m.linkRowFor(PowerSim, 0); err != nil { // hit
+		t.Fatal(err)
+	}
+	if r := m.CacheHitRate(); r != 0.5 {
+		t.Fatalf("after 1 hit / 1 miss: CacheHitRate() = %v, want 0.5", r)
+	}
+	hits, misses, _ := m.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("CacheStats() = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
 // Neighbors for an out-of-range node stays (nil, nil), matching the
 // pre-cache behavior.
 func TestNeighborsOutOfRangeNode(t *testing.T) {

@@ -468,6 +468,17 @@ func (m *Medium) CacheStats() (hits, misses uint64, entries int) {
 	return m.cacheHits, m.cacheMisses, len(m.links)
 }
 
+// CacheHitRate returns the link-cache hit fraction in [0, 1]. Before
+// the first lookup the rate is defined as 0 — not the NaN that raw
+// hits/(hits+misses) produces, which poisons any aggregate it touches.
+func (m *Medium) CacheHitRate() float64 {
+	total := m.cacheHits + m.cacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.cacheHits) / float64(total)
+}
+
 // linkRowFor returns the cached link row for (power, src), building it
 // from the geometry on a miss and evicting the least recently used row
 // beyond the cache bound. Cache state never affects behavior: a rebuilt

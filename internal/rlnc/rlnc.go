@@ -1,0 +1,459 @@
+// Package rlnc implements a rateless coded dissemination protocol:
+// segments travel as random linear combinations over GF(256) of their
+// packets, so any k innovative receptions — from any mix of senders —
+// complete a k-packet segment. Receivers run incremental Gaussian
+// elimination and advertise their decode rank; there is no
+// MissingVector and no request round trip, which is exactly the
+// machinery MNP's ReqCtr sender-selection phase exists to coordinate
+// (see DESIGN.md §4j for where each approach wins).
+//
+// The protocol pipelines segments strictly in order, like MNP: a node
+// only collects coded packets for segment completeSegs+1, and only
+// serves segments it has fully decoded and stored, so the write-once /
+// in-order EEPROM invariants hold unchanged.
+package rlnc
+
+import (
+	"fmt"
+	"time"
+
+	"mnp/internal/image"
+	"mnp/internal/node"
+	"mnp/internal/packet"
+)
+
+// Timer IDs.
+const (
+	timerAdvertise node.TimerID = iota + 1
+	timerData
+	timerFlushRetry
+)
+
+// Config tunes the protocol.
+type Config struct {
+	// Base marks the (single) source; Image is required there.
+	Base  bool
+	Image *image.Image
+	// AdvInterval is the base advertisement period; each advertisement
+	// adds a uniform delay in [0, AdvJitter) to desynchronize
+	// neighbors.
+	AdvInterval time.Duration
+	AdvJitter   time.Duration
+	// DataInterval paces coded-packet bursts while demand is live.
+	DataInterval time.Duration
+	// DemandTTL is how long one heard advertisement from a lagging
+	// neighbor keeps this node transmitting coded packets.
+	DemandTTL time.Duration
+}
+
+// DefaultConfig returns the parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		AdvInterval:  2 * time.Second,
+		AdvJitter:    500 * time.Millisecond,
+		DataInterval: 30 * time.Millisecond,
+		DemandTTL:    5 * time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.AdvInterval == 0 {
+		c.AdvInterval = d.AdvInterval
+	}
+	if c.AdvJitter == 0 {
+		c.AdvJitter = d.AdvJitter
+	}
+	if c.DataInterval == 0 {
+		c.DataInterval = d.DataInterval
+	}
+	if c.DemandTTL == 0 {
+		c.DemandTTL = d.DemandTTL
+	}
+	return c
+}
+
+// flushRetryDelay spaces retries of EEPROM writes that failed (e.g.
+// under injected flash faults).
+const flushRetryDelay = 100 * time.Millisecond
+
+// RLNC is one node's protocol instance.
+type RLNC struct {
+	cfg Config
+	rt  node.Runtime
+
+	// Image geometry, RAM-resident: the base takes it from the image,
+	// everyone else learns it from the first advertisement heard (and
+	// re-learns it the same way after a reboot).
+	known      bool
+	programID  uint8
+	segments   int
+	nominal    int // packets per full segment
+	total      int // packets in the whole image
+	payloadLen int // bytes per coded payload
+	tail       int // bytes in the image's final packet
+
+	completeSegs int      // segments fully decoded and stored
+	dec          *decoder // decoder of segment completeSegs+1, nil when idle
+	flushSeg     int      // decoded segment mid-flush to EEPROM (0 = none)
+
+	// Sender side: RAM cache of the segment currently being served, so
+	// each coded packet costs one pass over the cached rows instead of
+	// k EEPROM reads.
+	txSeg   int
+	txRows  [][]byte
+	attempt uint32 // coded-frame counter; seeds the coefficient draws
+
+	demandSeg   int // lowest segment a lagging neighbor needs (0 = none)
+	demandUntil time.Duration
+
+	// peers caches the last advertisement heard per neighbor, feeding
+	// the server-density estimate that paces coded transmissions: ten
+	// co-located servers each send at a tenth of the solo rate, keeping
+	// the aggregate near one frame per DataInterval. Without this, a
+	// dense neighborhood serving one straggler saturates the channel
+	// and collisions stop the straggler's rank from ever advancing.
+	peers map[packet.NodeID]peerInfo
+}
+
+type peerInfo struct {
+	seen time.Duration
+	segs int
+}
+
+var _ node.Protocol = (*RLNC)(nil)
+
+// New returns an RLNC instance.
+func New(cfg Config) *RLNC {
+	return &RLNC{cfg: cfg.withDefaults()}
+}
+
+// Init implements node.Protocol.
+func (r *RLNC) Init(rt node.Runtime) {
+	r.rt = rt
+	rt.RadioOn() // rank exchange needs everyone listening
+	if !r.cfg.Base {
+		return // geometry arrives with the first advertisement
+	}
+	im := r.cfg.Image
+	if im == nil {
+		panic("rlnc: base station requires an image")
+	}
+	r.known = true
+	r.programID = im.ProgramID()
+	r.segments = im.Segments()
+	r.nominal = im.SegmentPackets()
+	r.total = im.TotalPackets()
+	r.payloadLen = im.PayloadSize()
+	r.tail = im.Size() - (r.total-1)*r.payloadLen
+	for seq := 0; seq < r.total; seq++ {
+		seg, pkt := seq/r.nominal+1, seq%r.nominal
+		if rt.HasPacket(seg, pkt) {
+			continue // rebooted base: EEPROM survived
+		}
+		payload, _ := im.FlatPayload(seq)
+		if err := rt.Store(seg, pkt, payload); err != nil {
+			panic(fmt.Sprintf("rlnc: preloading base image: %v", err))
+		}
+	}
+	r.completeSegs = r.segments
+	rt.Complete()
+	r.scheduleAdv()
+}
+
+// packetsIn returns the packet count (coefficient width) of a segment.
+func (r *RLNC) packetsIn(seg int) int {
+	if seg == r.segments {
+		return r.total - (r.segments-1)*r.nominal
+	}
+	return r.nominal
+}
+
+// OnTimer implements node.Protocol.
+func (r *RLNC) OnTimer(id node.TimerID) {
+	switch id {
+	case timerAdvertise:
+		r.advTick()
+	case timerData:
+		r.dataTick()
+	case timerFlushRetry:
+		r.flushSegment()
+	}
+}
+
+// OnPacket implements node.Protocol.
+func (r *RLNC) OnPacket(p packet.Packet, from packet.NodeID) {
+	switch pkt := p.(type) {
+	case *packet.RlncAdv:
+		r.onAdv(pkt)
+	case *packet.RlncData:
+		r.onData(pkt)
+	}
+}
+
+// --- advertisement / demand ---
+
+func (r *RLNC) scheduleAdv() {
+	d := r.cfg.AdvInterval + time.Duration(r.rt.Rand().Int63n(int64(r.cfg.AdvJitter)))
+	r.rt.SetTimer(timerAdvertise, d)
+}
+
+func (r *RLNC) advTick() {
+	if !r.known {
+		return
+	}
+	rank := 0
+	if r.dec != nil {
+		rank = r.dec.rank
+	}
+	_ = r.rt.Send(&packet.RlncAdv{
+		Src:          r.rt.ID(),
+		ProgramID:    r.programID,
+		Segments:     uint8(r.segments),
+		SegPackets:   uint8(r.nominal),
+		TotalPackets: uint16(r.total),
+		PayloadLen:   uint8(r.payloadLen),
+		Tail:         uint8(r.tail),
+		CompleteSegs: uint8(r.completeSegs),
+		Rank:         uint8(rank),
+	})
+	r.scheduleAdv()
+}
+
+// learn adopts the image geometry from the first advertisement heard
+// and recovers any segments that survived in EEPROM across a reboot
+// (RAM state is lost, flash is not).
+func (r *RLNC) learn(a *packet.RlncAdv) {
+	if a.Segments == 0 || a.SegPackets == 0 || a.TotalPackets == 0 || a.PayloadLen == 0 {
+		return
+	}
+	r.known = true
+	r.programID = a.ProgramID
+	r.segments = int(a.Segments)
+	r.nominal = int(a.SegPackets)
+	r.total = int(a.TotalPackets)
+	r.payloadLen = int(a.PayloadLen)
+	r.tail = int(a.Tail)
+	for s := 1; s <= r.segments; s++ {
+		full := true
+		for i, k := 0, r.packetsIn(s); i < k; i++ {
+			if !r.rt.HasPacket(s, i) {
+				full = false
+				break
+			}
+		}
+		if !full {
+			break
+		}
+		r.completeSegs = s
+	}
+	if r.completeSegs == r.segments {
+		r.rt.Complete()
+	}
+	r.scheduleAdv()
+}
+
+// serverCount estimates how many nodes (self included) currently hold
+// segment seg in this neighborhood, from recently heard
+// advertisements. Stale entries are pruned as a side effect.
+func (r *RLNC) serverCount(seg int) int {
+	horizon := 2 * (r.cfg.AdvInterval + r.cfg.AdvJitter)
+	now := r.rt.Now()
+	n := 1
+	for id, p := range r.peers {
+		if now-p.seen > horizon {
+			delete(r.peers, id)
+			continue
+		}
+		if p.segs >= seg {
+			n++
+		}
+	}
+	return n
+}
+
+// dataPace is the inter-frame spacing while serving: the base interval
+// scaled by the number of co-located servers, plus jitter so equal
+// estimates do not lockstep.
+func (r *RLNC) dataPace() time.Duration {
+	servers := r.serverCount(r.demandSeg)
+	base := time.Duration(servers) * r.cfg.DataInterval
+	return base + time.Duration(r.rt.Rand().Int63n(int64(r.cfg.DataInterval)))
+}
+
+func (r *RLNC) onAdv(a *packet.RlncAdv) {
+	if !r.known {
+		r.learn(a)
+	}
+	if !r.known || a.ProgramID != r.programID {
+		return
+	}
+	if r.peers == nil {
+		r.peers = make(map[packet.NodeID]peerInfo)
+	}
+	r.peers[a.Src] = peerInfo{seen: r.rt.Now(), segs: int(a.CompleteSegs)}
+	if int(a.CompleteSegs) >= r.completeSegs {
+		return // the neighbor is not behind us; nothing to serve
+	}
+	// The neighbor's next segment is one we hold: register demand and
+	// start (or keep) the coded burst, offset randomly so concurrent
+	// servers interleave instead of colliding.
+	need := int(a.CompleteSegs) + 1
+	until := r.rt.Now() + r.cfg.DemandTTL
+	switch {
+	case r.demandSeg == 0 || need < r.demandSeg:
+		r.demandSeg = need
+		r.demandUntil = until
+	case need == r.demandSeg && until > r.demandUntil:
+		r.demandUntil = until
+	}
+	// Advertisements needing a higher segment deliberately do not
+	// refresh the TTL: the lower demand must be allowed to expire, or a
+	// mixed neighborhood pins the sender on its slowest segment forever.
+	if !r.rt.TimerPending(timerData) {
+		r.rt.SetTimer(timerData, time.Duration(r.rt.Rand().Int63n(int64(4*r.cfg.DataInterval))))
+	}
+}
+
+// --- sender side ---
+
+func (r *RLNC) dataTick() {
+	if r.demandSeg == 0 || r.demandSeg > r.completeSegs || r.rt.Now() >= r.demandUntil {
+		r.demandSeg = 0
+		return
+	}
+	r.sendCoded(r.demandSeg)
+	r.rt.SetTimer(timerData, r.dataPace())
+}
+
+// sendCoded broadcasts one fresh random linear combination of seg.
+func (r *RLNC) sendCoded(seg int) {
+	k := r.packetsIn(seg)
+	if r.txSeg != seg {
+		rows := make([][]byte, k)
+		for i := 0; i < k; i++ {
+			p := r.rt.Load(seg, i)
+			if p == nil {
+				return // only complete segments are served
+			}
+			row := make([]byte, r.payloadLen)
+			copy(row, p) // the image's final packet is shorter: zero-pad
+			rows[i] = row
+		}
+		r.txSeg, r.txRows = seg, rows
+	}
+	r.attempt++
+	coeffs := make([]byte, k)
+	drawCoeffs(coeffs, r.rt.ID(), seg, r.attempt)
+	payload := make([]byte, r.payloadLen)
+	for i, c := range coeffs {
+		addScaledRow(payload, r.txRows[i], c)
+	}
+	_ = r.rt.Send(&packet.RlncData{
+		Src:       r.rt.ID(),
+		ProgramID: r.programID,
+		Seg:       uint8(seg),
+		Coeffs:    coeffs,
+		Payload:   payload,
+	})
+}
+
+// drawCoeffs fills dst with the coefficient vector of (src, seg,
+// attempt): a splitmix64 stream keyed by the triple, so a frame's
+// coefficients are reproducible from its header alone and two senders
+// never draw identical combinations. An all-zero draw (probability
+// 256^-k) degrades to a unit vector rather than a wasted frame.
+func drawCoeffs(dst []byte, src packet.NodeID, seg int, attempt uint32) {
+	s := uint64(src)<<40 ^ uint64(uint32(seg))<<32 ^ uint64(attempt)
+	nonzero := false
+	var buf uint64
+	bits := 0
+	for i := range dst {
+		if bits == 0 {
+			s += 0x9E3779B97F4A7C15
+			z := s
+			z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+			z = (z ^ z>>27) * 0x94D049BB133111EB
+			buf = z ^ z>>31
+			bits = 8
+		}
+		dst[i] = byte(buf)
+		buf >>= 8
+		bits--
+		if dst[i] != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		dst[int(attempt)%len(dst)] = 1
+	}
+}
+
+// --- receiver side ---
+
+func (r *RLNC) onData(d *packet.RlncData) {
+	if !r.known || d.ProgramID != r.programID {
+		return // geometry arrives with advertisements
+	}
+	seg := int(d.Seg)
+	if seg <= r.completeSegs || seg == r.flushSeg {
+		// Someone else is serving a segment we already decoded; if we
+		// are serving it too, back off to thin duplicate coverage.
+		if seg == r.demandSeg && r.rt.TimerPending(timerData) {
+			d := r.dataPace() + time.Duration(r.rt.Rand().Int63n(int64(2*r.cfg.DataInterval)))
+			r.rt.SetTimer(timerData, d)
+		}
+		return
+	}
+	if seg != r.completeSegs+1 {
+		return // segments pipeline strictly in order
+	}
+	if r.dec == nil {
+		r.dec = newDecoder(r.packetsIn(seg), r.payloadLen)
+	}
+	ops, _ := r.dec.addRow(d.Coeffs, d.Payload)
+	if r.dec.complete() {
+		ops += r.dec.reduce()
+	}
+	if ops > 0 {
+		r.rt.Event(node.Event{Kind: node.EventDecodeOps, Seg: seg, Ops: ops})
+	}
+	if r.dec.complete() {
+		r.flushSeg = seg
+		r.flushSegment()
+	}
+}
+
+// flushSegment writes the decoded segment to EEPROM. Slots already
+// present (a retry after a mid-flush write fault or reboot) are
+// skipped, preserving write-once; a failed write re-arms a retry timer
+// instead of losing the decoded data.
+func (r *RLNC) flushSegment() {
+	seg := r.flushSeg
+	if seg == 0 || r.dec == nil || !r.dec.complete() {
+		return
+	}
+	for i, k := 0, r.packetsIn(seg); i < k; i++ {
+		if r.rt.HasPacket(seg, i) {
+			continue
+		}
+		payload := r.dec.packet(i)
+		if flat := (seg-1)*r.nominal + i; flat == r.total-1 {
+			payload = payload[:r.tail]
+		}
+		if err := r.rt.Store(seg, i, payload); err != nil {
+			r.rt.SetTimer(timerFlushRetry, flushRetryDelay)
+			return
+		}
+	}
+	r.flushSeg = 0
+	r.dec = nil
+	r.completeSegs = seg
+	r.rt.Event(node.Event{Kind: node.EventGotSegment, Seg: seg})
+	if r.completeSegs == r.segments {
+		r.rt.Complete()
+	}
+	// Advertise the new state promptly so the next hop's pipeline
+	// starts without waiting out a full advertisement period.
+	r.rt.SetTimer(timerAdvertise, time.Duration(r.rt.Rand().Int63n(int64(r.cfg.AdvJitter))))
+}

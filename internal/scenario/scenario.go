@@ -576,12 +576,21 @@ func pointsLayout(name string, raw [][]float64) (*topology.Layout, error) {
 }
 
 // Label names the topology for campaign cell keys without requiring a
-// seed (random placements are labeled by shape, not instance).
+// seed (random placements are labeled by shape, not instance). Grids
+// and lines with an explicit non-default spacing carry it in the label
+// so a density sweep (same shape, different spacing) yields distinct
+// cell keys; the default spacing keeps the short historical form.
 func (t *Topology) Label() string {
 	switch t.Kind {
 	case "grid":
+		if t.Spacing != 0 && t.Spacing != 10 {
+			return fmt.Sprintf("grid-%dx%d-sp%g", t.Rows, t.Cols, t.Spacing)
+		}
 		return fmt.Sprintf("grid-%dx%d", t.Rows, t.Cols)
 	case "line":
+		if t.Spacing != 0 && t.Spacing != 10 {
+			return fmt.Sprintf("line-%d-sp%g", t.N, t.Spacing)
+		}
 		return fmt.Sprintf("line-%d", t.N)
 	case "random":
 		return fmt.Sprintf("random-%d", t.N)

@@ -129,6 +129,7 @@ func CountersFromSnapshot(s metrics.Snapshot) *Counters {
 	}
 	c.Set("mnp_eeprom_read_bytes_total", int64(s.EEPROMReadBytes))
 	c.Set("mnp_eeprom_write_bytes_total", int64(s.EEPROMWriteBytes))
+	c.Set("mnp_decode_row_ops_total", int64(s.DecodeOps))
 	c.Set("mnp_sender_competitions_total", int64(s.SenderEvents))
 	c.Set("mnp_concurrent_sender_overlaps_total", int64(s.ConcurrencyViolations))
 	c.Set("mnp_radio_on_ms_total", s.RadioOnTotal.Milliseconds())

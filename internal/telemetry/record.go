@@ -45,6 +45,7 @@ const (
 	KindSender  = "sender"
 	KindReboot  = "reboot"
 	KindErase   = "erase"
+	KindDecode  = "decode"
 )
 
 // Record is one NDJSON line. The struct is deliberately flat: every
@@ -78,6 +79,8 @@ type Record struct {
 	// payload size.
 	Write bool `json:"write,omitempty"`
 	Bytes int  `json:"bytes,omitempty"`
+	// Ops is the GF(256) row-operation count for KindDecode events.
+	Ops int `json:"ops,omitempty"`
 
 	// Rule and Detail describe a TypeViolation record; Detail also
 	// carries the human-readable form of a TypeFault event.

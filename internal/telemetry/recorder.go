@@ -100,6 +100,8 @@ func (r *Recorder) NodeEvent(id packet.NodeID, at time.Duration, ev node.Event) 
 		rec.Kind = KindReboot
 	case node.EventStoreErased:
 		rec.Kind = KindErase
+	case node.EventDecodeOps:
+		rec.Kind, rec.Seg, rec.Ops = KindDecode, ev.Seg, ev.Ops
 	default:
 		rec.Kind = fmt.Sprintf("event-%d", int(ev.Kind))
 	}

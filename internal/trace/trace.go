@@ -71,6 +71,8 @@ func (e Entry) String() string {
 			return fmt.Sprintf("%s rebooted", prefix)
 		case node.EventStoreErased:
 			return fmt.Sprintf("%s eeprom erased", prefix)
+		case node.EventDecodeOps:
+			return fmt.Sprintf("%s decoded %d row ops (segment %d)", prefix, e.Event.Ops, e.Event.Seg)
 		default:
 			return fmt.Sprintf("%s event %d", prefix, e.Event.Kind)
 		}

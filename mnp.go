@@ -40,6 +40,7 @@ const (
 	ProtocolDeluge = experiment.ProtocolDeluge
 	ProtocolMOAP   = experiment.ProtocolMOAP
 	ProtocolXNP    = experiment.ProtocolXNP
+	ProtocolRLNC   = experiment.ProtocolRLNC
 )
 
 // TinyOS power levels with configured ranges.
