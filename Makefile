@@ -28,12 +28,14 @@ race-short:
 # shards 1 and 4, determinism with inline and parallel workers,
 # sharded chaos), the tiled suite (the grid x workers{1,2,4} x
 # repartitioning equivalence matrix, tiled chaos, repartition during
-# fault windows, observer-replay ordering under migration), and the
-# sharded golden hash (shards=4, workers 1 and 4).
+# fault windows, observer-replay ordering under migration), the
+# mobility suite (the mobile equivalence matrix, churn chaos, and the
+# static zero-cost check), and the sharded + mobile golden hashes
+# (shards=4, workers 1 and 4).
 race-engine:
 	$(GO) test -race ./internal/engine/ ./internal/sim/
-	$(GO) test -race ./internal/experiment/ -run 'TestSetupValidate|TestSharded|TestTiled'
-	$(GO) test -race . -run 'TestShardedRunMatchesGolden'
+	$(GO) test -race ./internal/experiment/ -run 'TestSetupValidate|TestSharded|TestTiled|TestMobility'
+	$(GO) test -race . -run 'TestShardedRunMatchesGolden|TestMobileRunMatchesGolden'
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +51,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzRecordRoundTrip' -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz 'FuzzScenarioParse' -fuzztime $(FUZZTIME) ./internal/scenario/
 	$(GO) test -run '^$$' -fuzz 'FuzzGridIndex' -fuzztime $(FUZZTIME) ./internal/topology/
+	$(GO) test -run '^$$' -fuzz 'FuzzIndexMoves' -fuzztime $(FUZZTIME) ./internal/topology/
 	$(GO) test -run '^$$' -fuzz 'FuzzTilePartition' -fuzztime $(FUZZTIME) ./internal/engine/
 	$(GO) test -run '^$$' -fuzz 'FuzzRLNCDecode' -fuzztime $(FUZZTIME) ./internal/rlnc/
 
@@ -68,6 +71,8 @@ bench: build
 		-benchmem -benchtime 20x . | tee -a bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkRLNCDecode' \
 		-benchmem -benchtime 100x ./internal/rlnc/ | tee -a bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkIndexMove' \
+		-benchmem -benchtime 2000x ./internal/topology/ | tee -a bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8ActiveRadioTime$$' \
 		-benchmem -benchtime 2x . | tee -a bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineGrid' \

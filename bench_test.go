@@ -250,22 +250,37 @@ func BenchmarkEngineGrid(b *testing.B) {
 		name       string
 		rows, cols int
 		repart     bool
+		mobile     bool
 	}{
-		{"tiles=2x2", 2, 2, false},
-		{"tiles=4x4", 4, 4, false},
-		{"tiles=4x4-repart", 4, 4, true},
+		{"tiles=2x2", 2, 2, false, false},
+		{"tiles=4x4", 4, 4, false, false},
+		{"tiles=4x4-repart", 4, 4, true, false},
+		// The mobile cell prices barrier-quantized position updates: a
+		// random-waypoint walk moves every node through the run, so each
+		// window pays index maintenance plus link-row invalidation on top
+		// of the static baseline above it.
+		{"tiles=4x4-mobile", 4, 4, false, true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			var imbalance float64
 			for i := 0; i < b.N; i++ {
-				res, err := experiment.Run(experiment.Setup{
+				setup := experiment.Setup{
 					Name: "engine-grid-tiled", Rows: 60, Cols: 60, ImagePackets: 64,
 					Seed: 42 + int64(i), Shards: 4,
 					TileRows: tc.rows, TileCols: tc.cols,
 					Repartition: tc.repart,
 					Limit:       12 * time.Hour,
-				})
+				}
+				if tc.mobile {
+					setup.Mobility = func(l *topology.Layout, seed int64) (topology.Mobility, error) {
+						return topology.NewWaypoint(l, topology.WaypointConfig{
+							SpeedMin: 1, SpeedMax: 3, Pause: 10 * time.Second, Seed: seed,
+						})
+					}
+					setup.MobilityEvery = 5 * time.Second
+				}
+				res, err := experiment.Run(setup)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -89,7 +89,7 @@ func isCampaign(data []byte) bool {
 	if err != nil {
 		return false // let the scenario parser report the error
 	}
-	for _, key := range []string{"scenario", "protocols", "seeds", "topologies", "fault_plans", "protocol_options"} {
+	for _, key := range []string{"scenario", "protocols", "seeds", "topologies", "mobilities", "fault_plans", "protocol_options"} {
 		if _, ok := generic[key]; ok {
 			return true
 		}

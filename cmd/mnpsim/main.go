@@ -49,7 +49,7 @@ func run(args []string) error {
 		cols     = fs.Int("cols", 10, "grid columns")
 		spacing  = fs.Float64("spacing", 10, "inter-node spacing in feet")
 		packets  = fs.Int("packets", 640, "program size in 22-byte packets")
-		protocol = fs.String("protocol", "mnp", "protocol: mnp, deluge, moap, xnp, rlnc")
+		protocol = fs.String("protocol", "mnp", "protocol: mnp, deluge, moap, xnp, rlnc, gossip")
 		power    = fs.Int("power", radio.PowerSim, "TinyOS transmit power level (1,3,4,20,50,255)")
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		shards   = fs.Int("shards", 1, "spatial shards run in lockstep (1 = classic sequential kernel); with -tiles: logical executors")
@@ -89,6 +89,8 @@ func run(args []string) error {
 		proto = experiment.ProtocolXNP
 	case "rlnc":
 		proto = experiment.ProtocolRLNC
+	case "gossip":
+		proto = experiment.ProtocolGossip
 	default:
 		return fmt.Errorf("unknown protocol %q", *protocol)
 	}

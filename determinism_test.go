@@ -12,6 +12,7 @@ import (
 	"mnp/internal/faults"
 	"mnp/internal/invariant"
 	"mnp/internal/scenario"
+	"mnp/internal/topology"
 )
 
 // Golden SHA-256 digests of the Figure 8 report, captured from the seed
@@ -221,4 +222,53 @@ func TestShardedRunMatchesGolden(t *testing.T) {
 func sumOf(s string) []byte {
 	h := sha256.Sum256([]byte(s))
 	return h[:]
+}
+
+// goldenMobile pins the full per-node outcome of a mobile run: a
+// gossip dissemination over a 2×2 tile grid with every node on a
+// seeded random-waypoint walk, positions updated at engine barriers.
+// Mobile execution must be exactly as reproducible as static — a pure
+// function of (seed, tile grid), independent of worker count. If this
+// hash changes, the mobility layer picked up a source of
+// nondeterminism (wall-clock sampling, unseeded trajectories,
+// mid-window position writes) or a behavior-affecting change landed
+// without updating the golden.
+const goldenMobile = "140ab359e499979d7ded0d7aeb358a6378f6b95b4608cd7bcf898d1258ebbf04"
+
+func TestMobileRunMatchesGolden(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		res, err := experiment.Run(experiment.Setup{
+			Name: "mobile-golden", Rows: 6, Cols: 6, ImagePackets: 64, Seed: 42,
+			Protocol: experiment.ProtocolGossip, Limit: 4 * time.Hour,
+			TileRows: 2, TileCols: 2, Shards: 4, Workers: workers,
+			MobilityEvery: 2 * time.Second,
+			Mobility: func(l *topology.Layout, seed int64) (topology.Mobility, error) {
+				return topology.NewWaypoint(l, topology.WaypointConfig{
+					SpeedMin: 1, SpeedMax: 3, Pause: 5 * time.Second, Seed: seed,
+				})
+			},
+			Invariants: &invariant.Config{SenderOverlapBudget: 1 << 30},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("workers=%d: incomplete", workers)
+		}
+		if err := res.VerifyInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		snap := res.Collector.Snapshot(res.CompletionTime)
+		var b strings.Builder
+		fmt.Fprintf(&b, "completed=%v at=%v tx=%d rx=%d collisions=%d senders=%d\n",
+			res.Completed, res.CompletionTime, snap.Tx, snap.Rx, snap.Collisions, snap.SenderEvents)
+		for _, n := range res.Network.Nodes {
+			fmt.Fprintf(&b, "%v completed=%v at=%v slots=%d\n",
+				n.ID(), n.Completed(), n.CompletedAt(), n.EEPROM().Slots())
+		}
+		if got := hex.EncodeToString(sumOf(b.String())); got != goldenMobile {
+			t.Errorf("workers=%d: mobile report hash = %s, want %s (mobile execution is no longer a pure function of (seed, grid))\n%s",
+				workers, got, goldenMobile, b.String())
+		}
+	}
 }

@@ -86,7 +86,7 @@ func main() {
 		}
 		frames += res.Collector.TxCount(packet.NodeID(id))
 	}
-	hits, misses, entries := res.Medium.CacheStats()
+	hits, misses, _, entries := res.Medium.CacheStats()
 	fmt.Printf("window:   %v simulated in %v wall\n", *window, wall.Round(time.Millisecond))
 	fmt.Printf("          %d frames sent, wavefront reached %d motes\n", frames, reached)
 	fmt.Printf("          link cache: %d rows resident, %.1f%% hit rate (%d hits, %d misses)\n",

@@ -44,6 +44,12 @@ type Plan struct {
 	// Topologies is the topology axis. Default: the base scenario's
 	// topology.
 	Topologies []scenario.Topology `json:"topologies,omitempty"`
+	// Mobilities is the mobility axis (use kind = "static" for a
+	// no-motion point). Default: the base scenario's mobility section
+	// as the single point, with no mobility label in cell keys — so
+	// plans without the axis keep their historical keys and resume
+	// cleanly from old checkpoints.
+	Mobilities []scenario.Mobility `json:"mobilities,omitempty"`
 	// ProtocolOptions maps a protocol name to the option set its cells
 	// run with, overriding the base scenario's options for that
 	// protocol. Protocols without an entry inherit the base options
@@ -65,6 +71,7 @@ type Cell struct {
 	Protocol string
 	Seed     int64
 	Topology string // scenario topology label, e.g. "grid-4x4"
+	Mobility string // mobility label ("" without a mobility axis)
 	Faults   string
 	Scenario *scenario.Scenario
 }
@@ -211,21 +218,34 @@ func (p *Plan) Expand() ([]Cell, error) {
 	if len(faultAxis) == 0 {
 		faultAxis = []string{p.Scenario.Faults}
 	}
-	cells := make([]Cell, 0, len(p.Protocols)*len(p.Topologies)*len(faultAxis)*len(p.Seeds))
+	// The mobility axis defaults to the base scenario's section (possibly
+	// none) as its single point, contributing no key segment — existing
+	// plans keep their historical cell keys and checkpoints.
+	mobAxis := []*scenario.Mobility{p.Scenario.Mobility}
+	keyMobility := len(p.Mobilities) > 0
+	if keyMobility {
+		mobAxis = make([]*scenario.Mobility, len(p.Mobilities))
+		for i := range p.Mobilities {
+			mobAxis[i] = &p.Mobilities[i]
+		}
+	}
+	cells := make([]Cell, 0, len(p.Protocols)*len(p.Topologies)*len(mobAxis)*len(faultAxis)*len(p.Seeds))
 	keys := map[string]bool{}
 	for _, proto := range p.Protocols {
 		for _, topo := range p.Topologies {
-			for fi, faultSpec := range faultAxis {
-				for _, seed := range p.Seeds {
-					cell, err := p.derive(proto, topo, fi, faultSpec, seed, len(p.FaultPlans) > 1)
-					if err != nil {
-						return nil, err
+			for _, mob := range mobAxis {
+				for fi, faultSpec := range faultAxis {
+					for _, seed := range p.Seeds {
+						cell, err := p.derive(proto, topo, mob, keyMobility, fi, faultSpec, seed, len(p.FaultPlans) > 1)
+						if err != nil {
+							return nil, err
+						}
+						if keys[cell.Key] {
+							return nil, fmt.Errorf("campaign %s: duplicate cell key %q (topology and mobility labels must be distinct)", p.Name, cell.Key)
+						}
+						keys[cell.Key] = true
+						cells = append(cells, cell)
 					}
-					if keys[cell.Key] {
-						return nil, fmt.Errorf("campaign %s: duplicate cell key %q (topology labels must be distinct)", p.Name, cell.Key)
-					}
-					keys[cell.Key] = true
-					cells = append(cells, cell)
 				}
 			}
 		}
@@ -235,9 +255,10 @@ func (p *Plan) Expand() ([]Cell, error) {
 
 // derive builds one cell's scenario from the base plus its axis
 // coordinates.
-func (p *Plan) derive(proto string, topo scenario.Topology, faultIdx int, faultSpec string, seed int64, keyFaults bool) (Cell, error) {
+func (p *Plan) derive(proto string, topo scenario.Topology, mob *scenario.Mobility, keyMobility bool, faultIdx int, faultSpec string, seed int64, keyFaults bool) (Cell, error) {
 	sc := p.Scenario // value copy; shared maps/slices are read-only
 	sc.Topology = topo
+	sc.Mobility = mob
 	sc.Run.Seed = seed
 	sc.Run.Seeds = nil
 	sc.Faults = faultSpec
@@ -260,6 +281,11 @@ func (p *Plan) derive(proto string, topo scenario.Topology, faultIdx int, faultS
 	}
 
 	parts := []string{proto, fmt.Sprintf("s%d", seed), topo.Label()}
+	mobLabel := ""
+	if keyMobility {
+		mobLabel = mob.Label()
+		parts = append(parts, mobLabel)
+	}
 	if keyFaults {
 		parts = append(parts, fmt.Sprintf("f%d", faultIdx))
 	}
@@ -274,6 +300,7 @@ func (p *Plan) derive(proto string, topo scenario.Topology, faultIdx int, faultS
 		Protocol: proto,
 		Seed:     seed,
 		Topology: topo.Label(),
+		Mobility: mobLabel,
 		Faults:   faultSpec,
 		Scenario: &sc,
 	}, nil

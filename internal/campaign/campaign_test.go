@@ -130,7 +130,7 @@ kind = "grid"
 rows = 2
 cols = 2`, "version 2"},
 		{"unknown protocol", `version = 1
-protocols = ["gossip"]
+protocols = ["warp"]
 [scenario.topology]
 kind = "grid"
 rows = 2

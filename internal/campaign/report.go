@@ -21,8 +21,12 @@ func Report(p *Plan, results []CellResult) string {
 
 	var b strings.Builder
 	faultAxis := len(p.FaultPlans) > 1
+	mobAxis := len(p.Mobilities) > 0
 	fmt.Fprintf(&b, "campaign %s: %d cells = %d protocols x %d seeds x %d topologies",
 		p.Name, len(sorted), len(p.Protocols), len(p.Seeds), len(p.Topologies))
+	if mobAxis {
+		fmt.Fprintf(&b, " x %d mobilities", len(p.Mobilities))
+	}
 	if faultAxis {
 		fmt.Fprintf(&b, " x %d fault plans", len(p.FaultPlans))
 	}
@@ -45,11 +49,15 @@ func Report(p *Plan, results []CellResult) string {
 
 	b.WriteString("\naggregates over seeds:\n")
 	tw = tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	if faultAxis {
-		fmt.Fprintln(tw, "protocol\ttopology\tfaults\tcells\tdone\ttime mean\tp50\tp90\ttx mean\tenergy mean")
-	} else {
-		fmt.Fprintln(tw, "protocol\ttopology\tcells\tdone\ttime mean\tp50\tp90\ttx mean\tenergy mean")
+	hdr := []string{"protocol", "topology"}
+	if mobAxis {
+		hdr = append(hdr, "mobility")
 	}
+	if faultAxis {
+		hdr = append(hdr, "faults")
+	}
+	hdr = append(hdr, "cells", "done", "time mean", "p50", "p90", "tx mean", "energy mean")
+	fmt.Fprintln(tw, strings.Join(hdr, "\t"))
 	for _, g := range groupCells(sorted) {
 		times := make([]float64, 0, len(g.cells))
 		txs := make([]float64, 0, len(g.cells))
@@ -67,6 +75,9 @@ func Report(p *Plan, results []CellResult) string {
 			}
 		}
 		cols := []string{g.protocol, g.topology}
+		if mobAxis {
+			cols = append(cols, g.mobility)
+		}
 		if faultAxis {
 			cols = append(cols, faultLabel(g.faults))
 		}
@@ -85,10 +96,10 @@ func Report(p *Plan, results []CellResult) string {
 	return b.String()
 }
 
-// group is one (protocol, topology, faults) aggregate bucket.
+// group is one (protocol, topology, mobility, faults) aggregate bucket.
 type group struct {
-	protocol, topology, faults string
-	cells                      []CellResult
+	protocol, topology, mobility, faults string
+	cells                                []CellResult
 }
 
 // groupCells buckets results by everything but the seed, ordered by
@@ -97,10 +108,10 @@ func groupCells(sorted []CellResult) []group {
 	byKey := map[string]*group{}
 	var order []string
 	for _, r := range sorted {
-		key := r.Protocol + "\x00" + r.Topology + "\x00" + r.Faults
+		key := r.Protocol + "\x00" + r.Topology + "\x00" + r.Mobility + "\x00" + r.Faults
 		g, ok := byKey[key]
 		if !ok {
-			g = &group{protocol: r.Protocol, topology: r.Topology, faults: r.Faults}
+			g = &group{protocol: r.Protocol, topology: r.Topology, mobility: r.Mobility, faults: r.Faults}
 			byKey[key] = g
 			order = append(order, key)
 		}

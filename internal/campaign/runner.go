@@ -23,6 +23,7 @@ type CellResult struct {
 	Protocol string `json:"protocol"`
 	Seed     int64  `json:"seed"`
 	Topology string `json:"topology"`
+	Mobility string `json:"mobility,omitempty"`
 	Faults   string `json:"faults,omitempty"`
 
 	// Nodes is the fleet size; Covered counts nodes holding the full
@@ -247,6 +248,7 @@ func RunCell(c Cell) CellResult {
 		Protocol: c.Protocol,
 		Seed:     c.Seed,
 		Topology: c.Topology,
+		Mobility: c.Mobility,
 		Faults:   c.Faults,
 	}
 	setup, err := c.Scenario.Compile()

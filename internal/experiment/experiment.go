@@ -16,6 +16,7 @@ import (
 	// init; the experiment layer builds them only through the registry.
 	// core is imported by name for the typed MNP tuning hook.
 	_ "mnp/internal/deluge"
+	_ "mnp/internal/gossip"
 	_ "mnp/internal/moap"
 	_ "mnp/internal/rlnc"
 	_ "mnp/internal/xnp"
@@ -45,6 +46,7 @@ const (
 	ProtocolMOAP
 	ProtocolXNP
 	ProtocolRLNC
+	ProtocolGossip
 )
 
 // String returns the protocol name.
@@ -60,6 +62,8 @@ func (p ProtocolKind) String() string {
 		return "XNP"
 	case ProtocolRLNC:
 		return "RLNC"
+	case ProtocolGossip:
+		return "Gossip"
 	default:
 		return fmt.Sprintf("Protocol(%d)", int(p))
 	}
@@ -79,6 +83,8 @@ func (p ProtocolKind) RegistryName() string {
 		return "xnp"
 	case ProtocolRLNC:
 		return "rlnc"
+	case ProtocolGossip:
+		return "gossip"
 	default:
 		return ""
 	}
@@ -87,7 +93,7 @@ func (p ProtocolKind) RegistryName() string {
 // ProtocolByName resolves a registry name (case-insensitive) to its
 // kind — the inverse of RegistryName, used by scenario files and CLIs.
 func ProtocolByName(name string) (ProtocolKind, bool) {
-	for _, p := range []ProtocolKind{ProtocolMNP, ProtocolDeluge, ProtocolMOAP, ProtocolXNP, ProtocolRLNC} {
+	for _, p := range []ProtocolKind{ProtocolMNP, ProtocolDeluge, ProtocolMOAP, ProtocolXNP, ProtocolRLNC, ProtocolGossip} {
 		if strings.EqualFold(name, p.RegistryName()) {
 			return p, true
 		}
@@ -145,6 +151,18 @@ type Setup struct {
 	// before the run starts (crashes, reboots, partitions, EEPROM
 	// errors). Plans are seeded from Seed and fully reproducible.
 	Faults *faults.Plan
+	// Mobility, when non-nil, builds the run's mobility model over the
+	// final layout (after grid construction); nil keeps the deployment
+	// static and every existing golden hash byte-identical. The factory
+	// receives the run seed so scenario files can defer seeding. Moves
+	// are applied at MobilityEvery boundaries — on the sharded path that
+	// means engine barriers, with workers parked, so tiled results stay
+	// a pure function of (Seed, tile grid).
+	Mobility func(l *topology.Layout, seed int64) (topology.Mobility, error)
+	// MobilityEvery is the position-update quantum (default 10s when
+	// Mobility is set). Finer steps cost more cache invalidations;
+	// coarser ones make motion visibly stepwise to the protocols.
+	MobilityEvery time.Duration
 	// Invariants, when non-nil, attaches an online protocol-invariant
 	// checker to the run. Build fills the clock, neighborhood, and
 	// airtime hooks; set fields like AllowRadioOnInSleep or
@@ -273,6 +291,9 @@ func (s Setup) withDefaults() Setup {
 	if s.Shards == 0 {
 		s.Shards = defaultShards
 	}
+	if s.Mobility != nil && s.MobilityEvery == 0 {
+		s.MobilityEvery = 10 * time.Second
+	}
 	if s.TileRows == 0 && s.TileCols == 0 && !s.TileAuto {
 		if defaultTileAuto {
 			s.TileAuto = true
@@ -339,6 +360,12 @@ func (s Setup) Validate() error {
 	}
 	if s.ImagePackets < 0 {
 		return fmt.Errorf("experiment %s: image size %d packets is negative", s.Name, s.ImagePackets)
+	}
+	if s.MobilityEvery < 0 {
+		return fmt.Errorf("experiment %s: mobility step %v is negative", s.Name, s.MobilityEvery)
+	}
+	if s.MobilityEvery > 0 && s.Mobility == nil {
+		return fmt.Errorf("experiment %s: mobility step set but no mobility model", s.Name)
 	}
 	if s.Limit < 0 {
 		return fmt.Errorf("experiment %s: time limit %v is negative", s.Name, s.Limit)
@@ -608,6 +635,28 @@ func Build(s Setup) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
 		}
+	}
+	if s.Mobility != nil {
+		model, err := s.Mobility(layout, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+		}
+		// A self-re-arming kernel event applies position updates at
+		// every nominal instant k×MobilityEvery. The model is stepped
+		// with the nominal time, so trajectories are independent of
+		// everything but (seed, step) — the sharded path below feeds
+		// the same instants through engine barriers.
+		geo := medium.Geometry()
+		var step func(nominal time.Duration)
+		step = func(nominal time.Duration) {
+			for _, mv := range model.Moves(nominal) {
+				geo.MoveNode(mv.ID, mv.To)
+			}
+			if next := nominal + s.MobilityEvery; next <= s.Limit {
+				kernel.MustSchedule(s.MobilityEvery, func() { step(next) })
+			}
+		}
+		kernel.MustSchedule(s.MobilityEvery, func() { step(s.MobilityEvery) })
 	}
 	armImageCheck(checker, s.Protocol, img, nw)
 	return &Result{
@@ -882,6 +931,38 @@ func buildSharded(s Setup, img *image.Image, layout *topology.Layout) (*Result, 
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
 		}
+	}
+	if s.Mobility != nil {
+		model, merr := s.Mobility(layout, s.Seed)
+		if merr != nil {
+			return nil, fmt.Errorf("experiment %s: %w", s.Name, merr)
+		}
+		// Position updates ride the engine's global-event queue, so they
+		// land at barriers with every worker parked — the only point a
+		// mutation of the shared Geometry is safe. The model is stepped
+		// with the nominal instant k×MobilityEvery (not the barrier
+		// time), and ConservativeWindow is grid-independent, so tiled
+		// runs stay a pure function of (Seed, tile grid) under mobility.
+		// Each shard's ghost-filter bounds are refreshed from the moved
+		// layout before the next window opens.
+		var arm func(nominal time.Duration)
+		arm = func(nominal time.Duration) {
+			eng.At(nominal, func() {
+				moved := model.Moves(nominal)
+				for _, mv := range moved {
+					geo.MoveNode(mv.ID, mv.To)
+				}
+				if len(moved) > 0 {
+					for _, sh := range shards {
+						*sh.Bounds = engine.BoundsOf(layout, sh.Owned)
+					}
+				}
+				if next := nominal + s.MobilityEvery; next <= s.Limit {
+					arm(next)
+				}
+			})
+		}
+		arm(s.MobilityEvery)
 	}
 	armImageCheck(checker, s.Protocol, img, nw)
 	res.Setup = s

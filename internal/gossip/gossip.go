@@ -1,0 +1,403 @@
+// Package gossip implements a GCP-style gossip code-propagation
+// protocol (Busnel et al., "GCP: gossip-based code propagation for
+// large-scale mobile wireless sensor networks"): every node
+// periodically beacons how far its stored image extends, and any node
+// that overhears a beacon lagging its own state pushes the missing
+// segment's packets — no sender election, no request round trips, no
+// per-neighbor state that a topology change could strand. That makes
+// the exchange memoryless in exactly the way a mobile network needs:
+// when a neighborhood dissolves and reforms, the next beacon pair
+// re-establishes who serves whom from scratch.
+//
+// The push follows the rumor-mongering pattern: hearing a lagging
+// beacon "infects" a holder, which keeps sweeping the needed segment's
+// packets round-robin (paced by the density estimate shared with rlnc,
+// so ten co-located servers aggregate to roughly one frame per
+// interval); the infection "dies" when no lagging beacon has refreshed
+// it for DemandTTL — GCP's infect-and-die counter expressed in time.
+// Segments pipeline strictly in order and every EEPROM slot is written
+// once, so the MNP storage invariants hold unchanged; against MNP the
+// protocol trades a broadcast premium (duplicates from blind pushes)
+// for having no coordination state to lose under churn.
+package gossip
+
+import (
+	"fmt"
+	"time"
+
+	"mnp/internal/image"
+	"mnp/internal/node"
+	"mnp/internal/packet"
+)
+
+// Timer IDs.
+const (
+	timerAdvertise node.TimerID = iota + 1
+	timerData
+)
+
+// Config tunes the protocol.
+type Config struct {
+	// Base marks the (single) source; Image is required there.
+	Base  bool
+	Image *image.Image
+	// AdvInterval is the base beacon period; each beacon adds a uniform
+	// delay in [0, AdvJitter) to desynchronize neighbors.
+	AdvInterval time.Duration
+	AdvJitter   time.Duration
+	// DataInterval paces the push sweep while an infection is live.
+	DataInterval time.Duration
+	// DemandTTL is how long one lagging beacon keeps this node pushing
+	// — the infect-and-die horizon.
+	DemandTTL time.Duration
+}
+
+// DefaultConfig returns the parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		AdvInterval:  2 * time.Second,
+		AdvJitter:    500 * time.Millisecond,
+		DataInterval: 30 * time.Millisecond,
+		DemandTTL:    5 * time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.AdvInterval == 0 {
+		c.AdvInterval = d.AdvInterval
+	}
+	if c.AdvJitter == 0 {
+		c.AdvJitter = d.AdvJitter
+	}
+	if c.DataInterval == 0 {
+		c.DataInterval = d.DataInterval
+	}
+	if c.DemandTTL == 0 {
+		c.DemandTTL = d.DemandTTL
+	}
+	return c
+}
+
+// Gossip is one node's protocol instance.
+type Gossip struct {
+	cfg Config
+	rt  node.Runtime
+
+	// Image geometry, RAM-resident: the base takes it from the image,
+	// everyone else learns it from the first beacon heard (and
+	// re-learns it the same way after a reboot).
+	known      bool
+	programID  uint8
+	segments   int
+	nominal    int // packets per full segment
+	total      int // packets in the whole image
+	payloadLen int // bytes per data payload
+	tail       int // bytes in the image's final packet
+
+	completeSegs int    // segments fully stored
+	got          []bool // receipt map of segment completeSegs+1
+	have         int    // packets stored of segment completeSegs+1
+
+	// Sender side: the infection. demandSeg is the lowest segment a
+	// lagging neighbor needs, cursor the round-robin position of the
+	// sweep (started at a random offset so concurrent servers
+	// interleave instead of duplicating each other's packets).
+	demandSeg   int // 0 = not infected
+	demandUntil time.Duration
+	cursor      int
+
+	// peers caches the last beacon heard per neighbor, feeding the
+	// server-density estimate that scales the push pace.
+	peers map[packet.NodeID]peerInfo
+}
+
+type peerInfo struct {
+	seen time.Duration
+	segs int
+}
+
+var _ node.Protocol = (*Gossip)(nil)
+
+// New returns a Gossip instance.
+func New(cfg Config) *Gossip {
+	return &Gossip{cfg: cfg.withDefaults()}
+}
+
+// Init implements node.Protocol.
+func (g *Gossip) Init(rt node.Runtime) {
+	g.rt = rt
+	rt.RadioOn() // beacon exchange needs everyone listening
+	if !g.cfg.Base {
+		return // geometry arrives with the first beacon
+	}
+	im := g.cfg.Image
+	if im == nil {
+		panic("gossip: base station requires an image")
+	}
+	g.known = true
+	g.programID = im.ProgramID()
+	g.segments = im.Segments()
+	g.nominal = im.SegmentPackets()
+	g.total = im.TotalPackets()
+	g.payloadLen = im.PayloadSize()
+	g.tail = im.Size() - (g.total-1)*g.payloadLen
+	for seq := 0; seq < g.total; seq++ {
+		seg, pkt := seq/g.nominal+1, seq%g.nominal
+		if rt.HasPacket(seg, pkt) {
+			continue // rebooted base: EEPROM survived
+		}
+		payload, _ := im.FlatPayload(seq)
+		if err := rt.Store(seg, pkt, payload); err != nil {
+			panic(fmt.Sprintf("gossip: preloading base image: %v", err))
+		}
+	}
+	g.completeSegs = g.segments
+	rt.Complete()
+	g.scheduleAdv()
+}
+
+// packetsIn returns the packet count of a segment.
+func (g *Gossip) packetsIn(seg int) int {
+	if seg == g.segments {
+		return g.total - (g.segments-1)*g.nominal
+	}
+	return g.nominal
+}
+
+// OnTimer implements node.Protocol.
+func (g *Gossip) OnTimer(id node.TimerID) {
+	switch id {
+	case timerAdvertise:
+		g.advTick()
+	case timerData:
+		g.dataTick()
+	}
+}
+
+// OnPacket implements node.Protocol.
+func (g *Gossip) OnPacket(p packet.Packet, from packet.NodeID) {
+	switch pkt := p.(type) {
+	case *packet.GossipAdv:
+		g.onAdv(pkt)
+	case *packet.GossipData:
+		g.onData(pkt)
+	}
+}
+
+// --- beacons / infection ---
+
+func (g *Gossip) scheduleAdv() {
+	d := g.cfg.AdvInterval + time.Duration(g.rt.Rand().Int63n(int64(g.cfg.AdvJitter)))
+	g.rt.SetTimer(timerAdvertise, d)
+}
+
+func (g *Gossip) advTick() {
+	if !g.known {
+		return
+	}
+	_ = g.rt.Send(&packet.GossipAdv{
+		Src:          g.rt.ID(),
+		ProgramID:    g.programID,
+		Segments:     uint8(g.segments),
+		SegPackets:   uint8(g.nominal),
+		TotalPackets: uint16(g.total),
+		PayloadLen:   uint8(g.payloadLen),
+		Tail:         uint8(g.tail),
+		CompleteSegs: uint8(g.completeSegs),
+		Have:         uint8(g.have),
+	})
+	g.scheduleAdv()
+}
+
+// learn adopts the image geometry from the first beacon heard and
+// recovers state that survived in EEPROM across a reboot: complete
+// segments, plus the partial receipt map of the segment in progress
+// (unlike rlnc, gossip stores each packet on reception, so partial
+// segments persist too).
+func (g *Gossip) learn(a *packet.GossipAdv) {
+	if a.Segments == 0 || a.SegPackets == 0 || a.TotalPackets == 0 || a.PayloadLen == 0 {
+		return
+	}
+	g.known = true
+	g.programID = a.ProgramID
+	g.segments = int(a.Segments)
+	g.nominal = int(a.SegPackets)
+	g.total = int(a.TotalPackets)
+	g.payloadLen = int(a.PayloadLen)
+	g.tail = int(a.Tail)
+	for s := 1; s <= g.segments; s++ {
+		full := true
+		for i, k := 0, g.packetsIn(s); i < k; i++ {
+			if !g.rt.HasPacket(s, i) {
+				full = false
+				break
+			}
+		}
+		if !full {
+			break
+		}
+		g.completeSegs = s
+	}
+	if g.completeSegs < g.segments {
+		next := g.completeSegs + 1
+		g.got = make([]bool, g.packetsIn(next))
+		g.have = 0
+		for i := range g.got {
+			if g.rt.HasPacket(next, i) {
+				g.got[i] = true
+				g.have++
+			}
+		}
+	} else {
+		g.rt.Complete()
+	}
+	g.scheduleAdv()
+}
+
+// serverCount estimates how many nodes (self included) currently hold
+// segment seg in this neighborhood, from recently heard beacons. Stale
+// entries are pruned as a side effect.
+func (g *Gossip) serverCount(seg int) int {
+	horizon := 2 * (g.cfg.AdvInterval + g.cfg.AdvJitter)
+	now := g.rt.Now()
+	n := 1
+	for id, p := range g.peers {
+		if now-p.seen > horizon {
+			delete(g.peers, id)
+			continue
+		}
+		if p.segs >= seg {
+			n++
+		}
+	}
+	return n
+}
+
+// dataPace is the inter-frame spacing while pushing: the base interval
+// scaled by the number of co-located servers, plus jitter so equal
+// estimates do not lockstep.
+func (g *Gossip) dataPace() time.Duration {
+	servers := g.serverCount(g.demandSeg)
+	base := time.Duration(servers) * g.cfg.DataInterval
+	return base + time.Duration(g.rt.Rand().Int63n(int64(g.cfg.DataInterval)))
+}
+
+func (g *Gossip) onAdv(a *packet.GossipAdv) {
+	if !g.known {
+		g.learn(a)
+	}
+	if !g.known || a.ProgramID != g.programID {
+		return
+	}
+	if g.peers == nil {
+		g.peers = make(map[packet.NodeID]peerInfo)
+	}
+	g.peers[a.Src] = peerInfo{seen: g.rt.Now(), segs: int(a.CompleteSegs)}
+	if int(a.CompleteSegs) >= g.completeSegs {
+		return // the neighbor is not behind us; nothing to push
+	}
+	// Infection: the neighbor's next segment is one we hold. Lower
+	// segments preempt (the slowest neighbor pipelines first); beacons
+	// needing a higher segment do not refresh the TTL, so a mixed
+	// neighborhood cannot pin a server on its slowest segment forever.
+	need := int(a.CompleteSegs) + 1
+	until := g.rt.Now() + g.cfg.DemandTTL
+	switch {
+	case g.demandSeg == 0 || need < g.demandSeg:
+		g.demandSeg = need
+		g.demandUntil = until
+		g.cursor = int(g.rt.Rand().Int63n(int64(g.packetsIn(need))))
+	case need == g.demandSeg && until > g.demandUntil:
+		g.demandUntil = until
+	}
+	if !g.rt.TimerPending(timerData) {
+		g.rt.SetTimer(timerData, time.Duration(g.rt.Rand().Int63n(int64(4*g.cfg.DataInterval))))
+	}
+}
+
+// --- push side ---
+
+func (g *Gossip) dataTick() {
+	if g.demandSeg == 0 || g.demandSeg > g.completeSegs || g.rt.Now() >= g.demandUntil {
+		g.demandSeg = 0 // the infection died
+		return
+	}
+	g.pushNext(g.demandSeg)
+	g.rt.SetTimer(timerData, g.dataPace())
+}
+
+// pushNext broadcasts the sweep's next packet of seg.
+func (g *Gossip) pushNext(seg int) {
+	k := g.packetsIn(seg)
+	if g.cursor >= k {
+		g.cursor = 0
+	}
+	payload := g.rt.Load(seg, g.cursor)
+	if payload == nil {
+		return // only complete segments are served
+	}
+	_ = g.rt.Send(&packet.GossipData{
+		Src:       g.rt.ID(),
+		ProgramID: g.programID,
+		Seg:       uint8(seg),
+		Pkt:       uint8(g.cursor + 1),
+		Payload:   payload,
+	})
+	g.cursor++
+}
+
+// --- receive side ---
+
+func (g *Gossip) onData(d *packet.GossipData) {
+	if !g.known || d.ProgramID != g.programID {
+		return // geometry arrives with beacons
+	}
+	seg := int(d.Seg)
+	if seg <= g.completeSegs {
+		// Someone else is pushing a segment we already hold; if we are
+		// pushing it too, back off to thin duplicate coverage.
+		if seg == g.demandSeg && g.rt.TimerPending(timerData) {
+			d := g.dataPace() + time.Duration(g.rt.Rand().Int63n(int64(2*g.cfg.DataInterval)))
+			g.rt.SetTimer(timerData, d)
+		}
+		return
+	}
+	if seg != g.completeSegs+1 {
+		return // segments pipeline strictly in order
+	}
+	i := int(d.Pkt) - 1
+	k := g.packetsIn(seg)
+	if i < 0 || i >= k {
+		return
+	}
+	if g.got == nil {
+		g.got = make([]bool, k)
+	}
+	if g.got[i] || g.rt.HasPacket(seg, i) {
+		return // duplicate rumor
+	}
+	if err := g.rt.Store(seg, i, d.Payload); err != nil {
+		return // flash fault: the sweep will bring the packet again
+	}
+	g.got[i] = true
+	g.have++
+	if g.have == k {
+		g.completeSegment(seg)
+	}
+}
+
+// completeSegment advances the pipeline after the last packet of the
+// in-progress segment is stored.
+func (g *Gossip) completeSegment(seg int) {
+	g.completeSegs = seg
+	g.got = nil
+	g.have = 0
+	g.rt.Event(node.Event{Kind: node.EventGotSegment, Seg: seg})
+	if g.completeSegs == g.segments {
+		g.rt.Complete()
+	}
+	// Beacon the new state promptly so the next hop's pipeline starts
+	// without waiting out a full beacon period.
+	g.rt.SetTimer(timerAdvertise, time.Duration(g.rt.Rand().Int63n(int64(g.cfg.AdvJitter))))
+}

@@ -315,6 +315,9 @@ func (c *Checker) PacketSent(src packet.NodeID, p packet.Packet, air time.Durati
 	if adv, ok := p.(*packet.RlncAdv); ok {
 		c.checkRlncAdv(src, st, adv)
 	}
+	if adv, ok := p.(*packet.GossipAdv); ok {
+		c.checkGossipAdv(src, st, adv)
+	}
 	if c.cfg.Neighbor != nil && c.cfg.Airtime != nil &&
 		packet.ClassOf(p.Kind()) == packet.ClassData {
 		c.checkSenderExclusive(src, now, air)
@@ -379,6 +382,56 @@ func (c *Checker) checkRlncAdv(src packet.NodeID, st *nodeState, adv *packet.Rln
 				"advertised %d complete coded segments of program %d but holds %d/%d packets of segment %d",
 				segs, adv.ProgramID, st.perSeg[s], want, s)
 			return
+		}
+	}
+}
+
+// checkGossipAdv validates gossip beacons against the EEPROM writes the
+// checker has observed — the rule that keeps blind-push gossip honest
+// under churn. A beacon claiming CompleteSegs complete segments plus
+// Have packets of the next one must be fully backed by stored slots,
+// across crashes, reboots, and dissolving neighborhoods: the checker's
+// write log models EEPROM, so it persists through reboots exactly like
+// the state the beacon summarizes, and any node that resumes beaconing
+// more than its flash holds is caught on the first frame.
+func (c *Checker) checkGossipAdv(src packet.NodeID, st *nodeState, adv *packet.GossipAdv) {
+	const rule = "advertisement-soundness-under-churn"
+	segs, nominal, total := int(adv.CompleteSegs), int(adv.SegPackets), int(adv.TotalPackets)
+	if adv.Segments == 0 || nominal <= 0 || total <= 0 {
+		c.violate(src, rule,
+			"beacon with degenerate geometry (segments %d, nominal %d, total %d)",
+			adv.Segments, nominal, total)
+		return
+	}
+	if segs > int(adv.Segments) {
+		c.violate(src, rule,
+			"beacon claims %d complete segments of a %d-segment image",
+			segs, adv.Segments)
+		return
+	}
+	for s := 1; s <= segs; s++ {
+		want := total - (s-1)*nominal
+		if want > nominal {
+			want = nominal
+		}
+		if want <= 0 || st.perSeg[s] < want {
+			c.violate(src, rule,
+				"beacon claims %d complete segments of program %d but holds %d/%d packets of segment %d",
+				segs, adv.ProgramID, st.perSeg[s], want, s)
+			return
+		}
+	}
+	if have := int(adv.Have); have > 0 {
+		if segs >= int(adv.Segments) {
+			c.violate(src, rule,
+				"beacon claims %d packets past a complete %d-segment image",
+				have, segs)
+			return
+		}
+		if st.perSeg[segs+1] < have {
+			c.violate(src, rule,
+				"beacon claims %d packets of segment %d but holds %d",
+				have, segs+1, st.perSeg[segs+1])
 		}
 	}
 }

@@ -263,3 +263,67 @@ func TestErrSummarizesFurtherViolations(t *testing.T) {
 		t.Fatalf("Err = %v", err)
 	}
 }
+
+func TestGossipBeaconSoundness(t *testing.T) {
+	chk, _ := newChecker(t, nil)
+	// Node 5 holds all 3 packets of segment 1 and 1 of segment 2, and
+	// beacons exactly that: legal.
+	for pkt := 0; pkt < 3; pkt++ {
+		chk.StorageOp(5, true, 1, pkt, 22)
+	}
+	chk.StorageOp(5, true, 2, 0, 22)
+	chk.PacketSent(5, &packet.GossipAdv{Src: 5, ProgramID: 1, Segments: 2,
+		SegPackets: 3, TotalPackets: 5, PayloadLen: 22, Tail: 22,
+		CompleteSegs: 1, Have: 1}, time.Millisecond)
+	if err := chk.Err(); err != nil {
+		t.Fatalf("sound beacon flagged: %v", err)
+	}
+	// Claiming 2 packets of segment 2 while holding 1 is the churn bug
+	// this rule exists for (a reboot or handoff resuming optimistic
+	// state the flash never held).
+	chk.PacketSent(5, &packet.GossipAdv{Src: 5, ProgramID: 1, Segments: 2,
+		SegPackets: 3, TotalPackets: 5, PayloadLen: 22, Tail: 22,
+		CompleteSegs: 1, Have: 2}, time.Millisecond)
+	v := firstRule(t, chk, "advertisement-soundness-under-churn")
+	if !strings.Contains(v.Detail, "claims 2 packets of segment 2 but holds 1") {
+		t.Fatalf("detail = %q", v.Detail)
+	}
+}
+
+func TestGossipBeaconSoundnessCompleteSegs(t *testing.T) {
+	chk, _ := newChecker(t, nil)
+	// Node 7 holds 2 of segment 1's 3 packets but beacons it complete.
+	chk.StorageOp(7, true, 1, 0, 22)
+	chk.StorageOp(7, true, 1, 1, 22)
+	chk.PacketSent(7, &packet.GossipAdv{Src: 7, ProgramID: 1, Segments: 2,
+		SegPackets: 3, TotalPackets: 5, PayloadLen: 22, Tail: 22,
+		CompleteSegs: 1}, time.Millisecond)
+	v := firstRule(t, chk, "advertisement-soundness-under-churn")
+	if !strings.Contains(v.Detail, "holds 2/3 packets of segment 1") {
+		t.Fatalf("detail = %q", v.Detail)
+	}
+}
+
+func TestGossipBeaconSurvivesReboot(t *testing.T) {
+	chk, _ := newChecker(t, nil)
+	// EEPROM-backed claims stay sound across a reboot: the write log is
+	// not RAM state, so the resumed node's beacon still checks out.
+	for pkt := 0; pkt < 3; pkt++ {
+		chk.StorageOp(8, true, 1, pkt, 22)
+	}
+	chk.NodeEvent(8, time.Second, node.Event{Kind: node.EventRebooted})
+	chk.PacketSent(8, &packet.GossipAdv{Src: 8, ProgramID: 1, Segments: 2,
+		SegPackets: 3, TotalPackets: 5, PayloadLen: 22, Tail: 22,
+		CompleteSegs: 1}, time.Millisecond)
+	if err := chk.Err(); err != nil {
+		t.Fatalf("post-reboot beacon flagged: %v", err)
+	}
+	// But beaconing past the image is degenerate regardless of writes.
+	chk.PacketSent(8, &packet.GossipAdv{Src: 8, ProgramID: 1, Segments: 2,
+		SegPackets: 3, TotalPackets: 5, PayloadLen: 22, Tail: 22,
+		CompleteSegs: 3}, time.Millisecond)
+	v := firstRule(t, chk, "advertisement-soundness-under-churn")
+	if !strings.Contains(v.Detail, "claims 3 complete segments of a 2-segment image") {
+		t.Fatalf("detail = %q", v.Detail)
+	}
+}

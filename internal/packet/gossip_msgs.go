@@ -1,0 +1,87 @@
+package packet
+
+import "fmt"
+
+// GossipAdv is the gossip protocol's periodic beacon, GCP-style: every
+// node keeps announcing how far its stored image extends, and hearing a
+// beacon that lags your own is the only trigger for pushing data — no
+// sender election, no request round trips, so the exchange survives
+// neighborhoods that dissolve and reform under mobility. The beacon
+// carries the full image geometry so a late-joining or just-arrived
+// node bootstraps from a single overheard frame.
+type GossipAdv struct {
+	Src          NodeID
+	ProgramID    uint8
+	Segments     uint8  // segments in the image
+	SegPackets   uint8  // packets per full segment
+	TotalPackets uint16 // packets in the whole image
+	PayloadLen   uint8  // bytes per data payload
+	Tail         uint8  // bytes in the image's final packet
+	CompleteSegs uint8  // segments Src holds completely
+	Have         uint8  // packets Src holds of segment CompleteSegs+1
+}
+
+// Kind implements Packet.
+func (*GossipAdv) Kind() Kind { return KindGossipAdv }
+
+// Dest implements Packet.
+func (*GossipAdv) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (a *GossipAdv) Source() NodeID { return a.Src }
+
+func (a *GossipAdv) appendPayload(b []byte) []byte {
+	b = appendNodeID(b, a.Src)
+	b = append(b, a.ProgramID, a.Segments, a.SegPackets)
+	b = appendU16(b, a.TotalPackets)
+	return append(b, a.PayloadLen, a.Tail, a.CompleteSegs, a.Have)
+}
+
+func (a *GossipAdv) decodePayload(b []byte) error {
+	r := payloadReader{b: b}
+	a.Src = r.nodeID()
+	a.ProgramID, a.Segments, a.SegPackets = r.u8(), r.u8(), r.u8()
+	a.TotalPackets = r.u16()
+	a.PayloadLen, a.Tail, a.CompleteSegs, a.Have = r.u8(), r.u8(), r.u8(), r.u8()
+	if !r.ok() {
+		return fmt.Errorf("malformed gossip adv payload (%d bytes)", len(b))
+	}
+	return nil
+}
+
+// GossipData carries one uncoded image packet, addressed by (segment,
+// packet) exactly like MNP's Data — the gossip rumor being spread.
+type GossipData struct {
+	Src       NodeID
+	ProgramID uint8
+	Seg       uint8 // 1-based segment
+	Pkt       uint8 // 1-based packet within the segment
+	Payload   []byte
+}
+
+// Kind implements Packet.
+func (*GossipData) Kind() Kind { return KindGossipData }
+
+// Dest implements Packet.
+func (*GossipData) Dest() NodeID { return Broadcast }
+
+// Source implements Packet.
+func (d *GossipData) Source() NodeID { return d.Src }
+
+func (d *GossipData) appendPayload(b []byte) []byte {
+	b = appendNodeID(b, d.Src)
+	b = append(b, d.ProgramID, d.Seg, d.Pkt)
+	return append(b, d.Payload...)
+}
+
+func (d *GossipData) decodePayload(b []byte) error {
+	r := payloadReader{b: b}
+	d.Src = r.nodeID()
+	d.ProgramID, d.Seg, d.Pkt = r.u8(), r.u8(), r.u8()
+	rest := r.rest()
+	if r.failed {
+		return fmt.Errorf("malformed gossip data payload (%d bytes)", len(b))
+	}
+	d.Payload = append(d.Payload[:0], rest...)
+	return nil
+}

@@ -69,6 +69,10 @@ const (
 	// Rateless coded dissemination (rlnc).
 	KindRlncAdv
 	KindRlncData
+
+	// Gossip code propagation (gossip).
+	KindGossipAdv
+	KindGossipData
 )
 
 var kindNames = map[Kind]string{
@@ -92,6 +96,8 @@ var kindNames = map[Kind]string{
 	KindXnpStatus:       "XnpStatus",
 	KindRlncAdv:         "RlncAdv",
 	KindRlncData:        "RlncData",
+	KindGossipAdv:       "GossipAdv",
+	KindGossipData:      "GossipData",
 }
 
 // String returns the message-kind name.
@@ -117,11 +123,11 @@ const (
 // ClassOf maps a kind to its accounting class.
 func ClassOf(k Kind) Class {
 	switch k {
-	case KindAdvertise, KindDelugeAdv, KindMoapPublish, KindRlncAdv:
+	case KindAdvertise, KindDelugeAdv, KindMoapPublish, KindRlncAdv, KindGossipAdv:
 		return ClassAdvertisement
 	case KindDownloadRequest, KindDelugeReq, KindMoapSubscribe, KindMoapNak, KindRepairRequest:
 		return ClassRequest
-	case KindData, KindDelugeData, KindMoapData, KindXnpData, KindRlncData:
+	case KindData, KindDelugeData, KindMoapData, KindXnpData, KindRlncData, KindGossipData:
 		return ClassData
 	default:
 		return ClassControl
@@ -287,6 +293,10 @@ func newByKind(k Kind) (Packet, error) {
 		return &RlncAdv{}, nil
 	case KindRlncData:
 		return &RlncData{}, nil
+	case KindGossipAdv:
+		return &GossipAdv{}, nil
+	case KindGossipData:
+		return &GossipData{}, nil
 	default:
 		return nil, fmt.Errorf("packet: unknown kind %d", uint8(k))
 	}

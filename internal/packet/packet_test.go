@@ -39,6 +39,8 @@ func samplePackets() []Packet {
 		&XnpData{Src: 0, ProgramID: 1, Seq: 10, Total: 640, Payload: bytes.Repeat([]byte{3}, 22)},
 		&XnpQueryStatus{Src: 0, ProgramID: 1},
 		&XnpStatus{Src: 6, DestID: 0, ProgramID: 1, Seq: XnpStatusComplete},
+		&GossipAdv{Src: 8, ProgramID: 1, Segments: 5, SegPackets: 128, TotalPackets: 560, PayloadLen: 22, Tail: 9, CompleteSegs: 2, Have: 40},
+		&GossipData{Src: 8, ProgramID: 1, Seg: 3, Pkt: 41, Payload: bytes.Repeat([]byte{4}, 22)},
 	}
 }
 
@@ -177,10 +179,14 @@ func TestClassOfCoversAllKinds(t *testing.T) {
 		{KindMoapSubscribe, ClassRequest},
 		{KindMoapNak, ClassRequest},
 		{KindRepairRequest, ClassRequest},
+		{KindRlncAdv, ClassAdvertisement},
+		{KindGossipAdv, ClassAdvertisement},
 		{KindData, ClassData},
 		{KindDelugeData, ClassData},
 		{KindMoapData, ClassData},
 		{KindXnpData, ClassData},
+		{KindRlncData, ClassData},
+		{KindGossipData, ClassData},
 		{KindStartDownload, ClassControl},
 		{KindEndDownload, ClassControl},
 		{KindQuery, ClassControl},

@@ -128,7 +128,7 @@ func (r *payloadReader) ok() bool { return !r.failed && r.off == len(r.b) }
 // read-only and copy anything they retain at the storage boundary. The
 // zero value is ready to use. Not safe for concurrent use.
 type DecodeCache struct {
-	byKind [KindRlncData + 1]Packet
+	byKind [KindGossipData + 1]Packet
 }
 
 // Decode parses a frame produced by Encode in this process (CRC

@@ -98,7 +98,7 @@ func TestLinkCacheEvictionIsInvisible(t *testing.T) {
 		}
 		first[packet.NodeID(id)] = row.full
 		firstBER[packet.NodeID(id)] = row.ber
-		if _, _, entries := m.CacheStats(); entries > 3 {
+		if _, _, _, entries := m.CacheStats(); entries > 3 {
 			t.Fatalf("cache holds %d rows, cap 3", entries)
 		}
 	}
@@ -119,7 +119,7 @@ func TestLinkCacheEvictionIsInvisible(t *testing.T) {
 			}
 		}
 	}
-	hits, misses, _ := m.CacheStats()
+	hits, misses, _, _ := m.CacheStats()
 	if misses <= uint64(layout.N()) {
 		t.Fatalf("expected rebuild misses, got %d misses / %d hits", misses, hits)
 	}
@@ -151,7 +151,7 @@ func TestCacheHitRateDefinedBeforeFirstLookup(t *testing.T) {
 	if r := m.CacheHitRate(); r != 0.5 {
 		t.Fatalf("after 1 hit / 1 miss: CacheHitRate() = %v, want 0.5", r)
 	}
-	hits, misses, _ := m.CacheStats()
+	hits, misses, _, _ := m.CacheStats()
 	if hits != 1 || misses != 1 {
 		t.Fatalf("CacheStats() = %d hits, %d misses; want 1, 1", hits, misses)
 	}

@@ -203,19 +203,29 @@ func (t *transmission) deliverPos(i int) int {
 	return int(t.deliver[i])
 }
 
-// Geometry is the immutable part of a channel: node positions, the
-// spatial index over them, and the model parameters. It depends only on
-// (layout, params, seed), never on event order, so the sharded engine
-// builds one Geometry and shares it read-only across every shard's
-// Medium. All methods are pure and safe for concurrent use; the mutable
-// per-source link cache lives in each Medium.
+// Geometry is the shared part of a channel: node positions, the
+// spatial index over them, and the model parameters. For a static
+// layout it depends only on (layout, params, seed), never on event
+// order, so the sharded engine builds one Geometry and shares it
+// read-only across every shard's Medium; the mutable per-source link
+// cache lives in each Medium. Mobility mutates positions through
+// MoveNode, which is only ever called at engine barriers (all shard
+// workers parked), so the read paths stay safe for concurrent use and
+// every position update is stamped for the link caches to detect.
 type Geometry struct {
 	layout *topology.Layout
 	params Params
 	seed   int64
 	n      int
-	pts    []topology.Point // layout's backing points, read-only
+	pts    []topology.Point // layout's backing points, written only by MoveNode
 	index  *topology.Index  // grid hash, cell edge = max radio range
+
+	// moveStamp is a global monotone counter of position updates;
+	// cellEpoch[c] records the stamp of the last move whose old or new
+	// position fell in grid cell c. Nil until the first MoveNode, so
+	// static runs pay nothing and draw no extra randomness.
+	moveStamp uint64
+	cellEpoch []uint64
 }
 
 // NewGeometry validates the channel model and builds the spatial index
@@ -306,6 +316,57 @@ func (g *Geometry) distance(a, b packet.NodeID) float64 {
 	return g.pts[a].Distance(g.pts[b])
 }
 
+// MoveNode updates node id's position, keeping the spatial index exact
+// and stamping the grid cells the move touches so every Medium's
+// link-row cache can detect rows whose source or audible set changed.
+// Mobility is the only caller and runs strictly at engine barriers
+// (shard workers parked), which is what makes a mutation of the shared
+// Geometry safe.
+func (g *Geometry) MoveNode(id packet.NodeID, to topology.Point) {
+	if g.cellEpoch == nil {
+		cols, rows := g.index.Cells()
+		g.cellEpoch = make([]uint64, cols*rows)
+	}
+	from := g.index.CellIndex(g.pts[id])
+	g.index.Move(id, to) // writes through the shared point slice
+	g.moveStamp++
+	g.cellEpoch[from] = g.moveStamp
+	if c := g.index.CellIndex(to); c != from {
+		g.cellEpoch[c] = g.moveStamp
+	}
+	g.layout.InvalidateDistanceCache()
+}
+
+// Moves returns how many MoveNode calls the geometry has absorbed.
+func (g *Geometry) Moves() uint64 { return g.moveStamp }
+
+// regionStamp returns the newest move stamp among the grid cells
+// covering the disc of the given radius around src's current position —
+// exactly the cell set a link-row build for (src, radius) reads. A
+// cached row is fresh iff this value still equals the stamp recorded at
+// build time: stamps are issued from one monotone counter, so any later
+// move of the source (its new cell is inside the current disc) or of an
+// audible-set member (its old or new cell overlaps the disc) makes the
+// region's maximum strictly newer. Zero when no move ever touched the
+// region.
+func (g *Geometry) regionStamp(src packet.NodeID, radius float64) uint64 {
+	if g.cellEpoch == nil {
+		return 0
+	}
+	cols, _ := g.index.Cells()
+	cx0, cy0, cx1, cy1 := g.index.CellRect(g.pts[src], radius)
+	var newest uint64
+	for cy := cy0; cy <= cy1; cy++ {
+		base := cy * cols
+		for cx := cx0; cx <= cx1; cx++ {
+			if s := g.cellEpoch[base+cx]; s > newest {
+				newest = s
+			}
+		}
+	}
+	return newest
+}
+
 // linkKey identifies one cached link row.
 type linkKey struct {
 	power int
@@ -328,6 +389,10 @@ type linkRow struct {
 	// boundary marks that some audible receiver is owned by another
 	// shard, so frames from this source must be exported as ghosts.
 	boundary bool
+	// stamp is the geometry's regionStamp over the row's coverage disc
+	// at build time; a mismatch on lookup means the source or its
+	// audible set moved and the row must be rebuilt.
+	stamp uint64
 
 	prev, next *linkRow // LRU list, most recent at head
 }
@@ -352,6 +417,7 @@ type Medium struct {
 	links                  map[linkKey]*linkRow
 	lruHead, lruTail       *linkRow
 	lruCap                 int
+	cacheInvalidations     uint64
 	cacheHits, cacheMisses uint64
 
 	// dec reuses one decoded message per kind across frame deliveries;
@@ -459,13 +525,18 @@ func NewShardMedium(k *sim.Kernel, geo *Geometry, owned []packet.NodeID) (*Mediu
 	return m, nil
 }
 
-// Geometry returns the shared immutable channel geometry.
+// Geometry returns the shared channel geometry (mutable only through
+// MoveNode, at barriers).
 func (m *Medium) Geometry() *Geometry { return m.geo }
 
-// CacheStats reports link-cache hits, misses, and resident rows since
-// the medium was built — a diagnostic for sizing LinkCacheSources.
-func (m *Medium) CacheStats() (hits, misses uint64, entries int) {
-	return m.cacheHits, m.cacheMisses, len(m.links)
+// CacheStats reports link-cache hits, misses, mobility invalidations,
+// and resident rows since the medium was built — a diagnostic for
+// sizing LinkCacheSources and for seeing how hard mobility churns the
+// cache. An invalidation is a cached row discarded because its source
+// or audible set moved; the rebuild that follows is counted as a miss,
+// so hits+misses still totals the lookups.
+func (m *Medium) CacheStats() (hits, misses, invalidations uint64, entries int) {
+	return m.cacheHits, m.cacheMisses, m.cacheInvalidations, len(m.links)
 }
 
 // CacheHitRate returns the link-cache hit fraction in [0, 1]. Before
@@ -482,13 +553,23 @@ func (m *Medium) CacheHitRate() float64 {
 // linkRowFor returns the cached link row for (power, src), building it
 // from the geometry on a miss and evicting the least recently used row
 // beyond the cache bound. Cache state never affects behavior: a rebuilt
-// row is identical to the evicted one.
+// row is identical to the evicted one. Under mobility a cached row is
+// revalidated against the geometry's per-cell move stamps, so a row
+// whose source or audible set moved is never served stale — it is
+// dropped (counted as an invalidation) and rebuilt like a miss. The
+// old row object is left intact: in-flight transmissions still
+// borrowing its slices keep the channel state they started with.
 func (m *Medium) linkRowFor(power int, src packet.NodeID) (*linkRow, error) {
 	key := linkKey{power: power, src: src}
 	if row, ok := m.links[key]; ok {
-		m.cacheHits++
-		m.lruMoveFront(row)
-		return row, nil
+		if m.geo.regionStamp(src, row.rangeFt) == row.stamp {
+			m.cacheHits++
+			m.lruMoveFront(row)
+			return row, nil
+		}
+		m.cacheInvalidations++
+		m.lruUnlink(row)
+		delete(m.links, key)
 	}
 	full, ber, err := m.geo.computeLinks(power, src)
 	if err != nil {
@@ -496,7 +577,8 @@ func (m *Medium) linkRowFor(power int, src packet.NodeID) (*linkRow, error) {
 	}
 	m.cacheMisses++
 	rangeFt, _ := m.geo.RangeFor(power) // computeLinks already validated power
-	row := &linkRow{key: key, full: full, ber: ber, rangeFt: rangeFt}
+	row := &linkRow{key: key, full: full, ber: ber, rangeFt: rangeFt,
+		stamp: m.geo.regionStamp(src, rangeFt)}
 	if m.owned != nil {
 		row.deliver = make([]int32, 0, len(full))
 		for i, dst := range full {

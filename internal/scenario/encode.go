@@ -65,6 +65,27 @@ func (s *Scenario) EncodeTOML() []byte {
 		}
 	}
 
+	if m := s.Mobility; m != nil {
+		e.section("mobility")
+		e.kv("kind", m.Kind)
+		e.optFloat("speed_min", m.SpeedMin)
+		e.optFloat("speed_max", m.SpeedMax)
+		if m.Pause != 0 {
+			e.kv("pause", time.Duration(m.Pause).String())
+		}
+		e.optFloat("width", m.Width)
+		e.optFloat("height", m.Height)
+		if m.Every != 0 {
+			e.kv("every", time.Duration(m.Every).String())
+		}
+		if m.Seed != 0 {
+			e.kv("seed", m.Seed)
+		}
+		if m.File != "" {
+			e.kv("file", m.File)
+		}
+	}
+
 	p := &s.Protocol
 	if p.Name != "" || len(p.Options) > 0 || len(p.Tune) > 0 {
 		e.section("protocol")

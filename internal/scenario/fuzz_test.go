@@ -18,6 +18,7 @@ func FuzzScenarioParse(f *testing.F) {
 	f.Add([]byte(`{"version": 1, "topology": {"kind": "line", "n": 3}}`))
 	f.Add([]byte("version = 1\n[topology]\nkind = \"points\"\npoints = [[0,0],[1,1]]\n"))
 	f.Add([]byte("version = 1\nfaults = \"crash:1@2s\"\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[run]\nseeds = [1,\n 2]\n"))
+	f.Add([]byte("version = 1\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[mobility]\nkind = \"waypoint\"\nspeed_min = 1\nspeed_max = 3\npause = \"5s\"\nevery = \"2s\"\nseed = 3\n"))
 	f.Add([]byte("key = \"unclosed"))
 	f.Add([]byte("[[a]]\n[[a]]\nx = 1\n[a.b]\ny = 2\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {

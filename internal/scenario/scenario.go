@@ -45,11 +45,12 @@ type Scenario struct {
 	// (e.g. "crash:5@20s; eeprom:*:0.01"); empty means no faults.
 	Faults string `json:"faults,omitempty"`
 
-	Topology Topology `json:"topology"`
-	Radio    *Radio   `json:"radio,omitempty"`
-	Protocol Protocol `json:"protocol,omitempty"`
-	Run      Run      `json:"run,omitempty"`
-	Battery  *Battery `json:"battery,omitempty"`
+	Topology Topology  `json:"topology"`
+	Radio    *Radio    `json:"radio,omitempty"`
+	Mobility *Mobility `json:"mobility,omitempty"`
+	Protocol Protocol  `json:"protocol,omitempty"`
+	Run      Run       `json:"run,omitempty"`
+	Battery  *Battery  `json:"battery,omitempty"`
 
 	Invariants *Invariants `json:"invariants,omitempty"`
 	Telemetry  *Telemetry  `json:"telemetry,omitempty"`
@@ -90,6 +91,34 @@ type Radio struct {
 	// RangeFeet overrides or extends the power-level → range table;
 	// keys are decimal power levels ("20", "255").
 	RangeFeet map[string]float64 `json:"range_feet,omitempty"`
+}
+
+// Mobility puts the fleet in motion: a seeded model updates node
+// positions every Every of simulated time, quantized to engine barriers
+// on sharded runs. Omitting the section keeps the deployment static and
+// the compiled setup byte-identical to earlier releases.
+type Mobility struct {
+	// Kind is waypoint (random-waypoint walk), trace (recorded
+	// playback from File), or static (an explicit no-motion point for
+	// campaign axes).
+	Kind string `json:"kind"`
+	// Waypoint parameters: uniform speeds in [SpeedMin, SpeedMax] ft/s,
+	// a pause at each destination, and the roaming field anchored at
+	// the layout's bounding-box origin (zero width/height = the
+	// layout's own extent).
+	SpeedMin float64  `json:"speed_min,omitempty"`
+	SpeedMax float64  `json:"speed_max,omitempty"`
+	Pause    Duration `json:"pause,omitempty"`
+	Width    float64  `json:"width,omitempty"`
+	Height   float64  `json:"height,omitempty"`
+	// Every is the position-update step (default 10s).
+	Every Duration `json:"every,omitempty"`
+	// Seed drives the trajectories; zero defers to the run seed, so a
+	// seed sweep explores distinct walks deterministically.
+	Seed int64 `json:"seed,omitempty"`
+	// File names a JSON trace ([[seconds, id, x, y], ...]) for kind =
+	// trace.
+	File string `json:"file,omitempty"`
 }
 
 // Protocol selects and tunes the dissemination protocol.
@@ -401,6 +430,9 @@ func (s *Scenario) Validate() error {
 			}
 		}
 	}
+	if err := s.Mobility.validate(n); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
 	if s.Faults != "" {
 		if _, err := faults.ParseSpec(s.Faults); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -607,6 +639,94 @@ func (t *Topology) Label() string {
 	}
 }
 
+// validate checks a mobility section against a fleet of n nodes; nil
+// (no section) is the static deployment and always valid.
+func (m *Mobility) validate(n int) error {
+	if m == nil {
+		return nil
+	}
+	if m.Every < 0 {
+		return fmt.Errorf("mobility: step %v is negative", time.Duration(m.Every))
+	}
+	switch m.Kind {
+	case "waypoint":
+		if m.File != "" {
+			return fmt.Errorf("mobility: file is only for kind trace")
+		}
+		if m.SpeedMin <= 0 || m.SpeedMax < m.SpeedMin {
+			return fmt.Errorf("mobility: speeds [%g, %g] ft/s invalid (need 0 < min <= max)", m.SpeedMin, m.SpeedMax)
+		}
+		if m.Pause < 0 {
+			return fmt.Errorf("mobility: pause %v is negative", time.Duration(m.Pause))
+		}
+		if m.Width < 0 || m.Height < 0 {
+			return fmt.Errorf("mobility: field %gx%g ft invalid", m.Width, m.Height)
+		}
+	case "trace":
+		if m.File == "" {
+			return fmt.Errorf("mobility: kind trace requires a file")
+		}
+		data, err := os.ReadFile(m.File)
+		if err != nil {
+			return fmt.Errorf("mobility: %w", err)
+		}
+		if _, err := topology.ParseTrace(data, n); err != nil {
+			return fmt.Errorf("mobility: %s: %w", m.File, err)
+		}
+	case "static":
+		if m.SpeedMin != 0 || m.SpeedMax != 0 || m.Pause != 0 || m.Width != 0 || m.Height != 0 || m.File != "" {
+			return fmt.Errorf("mobility: kind static takes no parameters")
+		}
+	case "":
+		return fmt.Errorf("mobility: kind is required (waypoint, trace, static)")
+	default:
+		return fmt.Errorf("mobility: unknown kind %q", m.Kind)
+	}
+	return nil
+}
+
+// build constructs the model over the final layout. Static sections
+// return a nil model (the factory is never installed for them).
+func (m *Mobility) build(l *topology.Layout, runSeed int64) (topology.Mobility, error) {
+	switch m.Kind {
+	case "waypoint":
+		seed := m.Seed
+		if seed == 0 {
+			seed = runSeed
+		}
+		return topology.NewWaypoint(l, topology.WaypointConfig{
+			SpeedMin: m.SpeedMin, SpeedMax: m.SpeedMax,
+			Pause: time.Duration(m.Pause),
+			Width: m.Width, Height: m.Height,
+			Seed: seed,
+		})
+	case "trace":
+		data, err := os.ReadFile(m.File)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: %w", err)
+		}
+		return topology.ParseTrace(data, l.N())
+	default:
+		return nil, fmt.Errorf("mobility: unknown kind %q", m.Kind)
+	}
+}
+
+// Label names the mobility point for campaign cell keys.
+func (m *Mobility) Label() string {
+	switch m.Kind {
+	case "waypoint":
+		return fmt.Sprintf("wp%g-%g", m.SpeedMin, m.SpeedMax)
+	case "trace":
+		base := m.File
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		return "trace-" + strings.TrimSuffix(base, ".json")
+	default:
+		return m.Kind
+	}
+}
+
 // Compile lowers the document into an executable experiment.Setup.
 // Declarative battery and tune rules become the Setup's closure
 // fields; everything else maps directly. Telemetry is NOT wired here —
@@ -652,6 +772,12 @@ func (s *Scenario) Compile() (experiment.Setup, error) {
 	if s.Radio != nil {
 		rp := s.compileRadio().Params
 		setup.Radio = &rp
+	}
+
+	if m := s.Mobility; m != nil && m.Kind != "static" {
+		mob := *m // value copy; the closure outlives the document
+		setup.Mobility = mob.build
+		setup.MobilityEvery = time.Duration(m.Every)
 	}
 
 	proto := s.Protocol.Name

@@ -2,6 +2,9 @@ package scenario
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -30,6 +33,13 @@ ber_floor = 0.0002
 asym_sigma = 0.25
 [radio.range_feet]
 20 = 30
+
+[mobility]
+kind = "waypoint"
+speed_min = 1.5
+speed_max = 4
+pause = "20s"
+every = "5s"
 
 [protocol]
 name = "mnp"
@@ -85,6 +95,10 @@ func TestParseFullDocument(t *testing.T) {
 	}
 	if sc.Radio == nil || *sc.Radio.BERFloor != 0.0002 || sc.Radio.RangeFeet["20"] != 30 {
 		t.Fatalf("radio = %+v", sc.Radio)
+	}
+	if m := sc.Mobility; m == nil || m.Kind != "waypoint" || m.SpeedMin != 1.5 || m.SpeedMax != 4 ||
+		time.Duration(m.Pause) != 20*time.Second || time.Duration(m.Every) != 5*time.Second {
+		t.Fatalf("mobility = %+v", sc.Mobility)
 	}
 	if got := sc.Protocol.Options["advertise_count"]; got != float64(3) {
 		t.Fatalf("advertise_count = %v (%T)", got, got)
@@ -149,6 +163,35 @@ kind = "points"
 points = [[0, 0], [10.5, 0], [0, 21]]
 [protocol]
 name = "deluge"
+`,
+		"mobile-gossip": `
+version = 1
+name = "mob"
+[topology]
+kind = "grid"
+rows = 4
+cols = 4
+[mobility]
+kind = "waypoint"
+speed_min = 2
+speed_max = 6
+pause = "30s"
+width = 100
+height = 80
+every = "2s"
+seed = 11
+[protocol]
+name = "gossip"
+`,
+		"mobility-static-point": `
+version = 1
+name = "stat"
+[topology]
+kind = "grid"
+rows = 3
+cols = 3
+[mobility]
+kind = "static"
 `,
 		// A [run] section whose only content is the repartition flag:
 		// the encoder's run-section predicate must not drop it.
@@ -239,6 +282,12 @@ func TestParseRejects(t *testing.T) {
 		{"bad-power", "version = 1\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[run]\npower = 99\n", "power level 99"},
 		{"bad-base", "version = 1\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[run]\nbase = 9\n", "base 9"},
 		{"tune-non-mnp", "version = 1\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[protocol]\nname = \"deluge\"\n[[protocol.tune]]\nnodes = \"*\"\n[protocol.tune.options]\nno_sleep = true\n", "tune rules require protocol mnp"},
+		{"mobility-no-kind", "version = 1\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[mobility]\nspeed_min = 1\nspeed_max = 2\n", "kind is required"},
+		{"mobility-bad-kind", "version = 1\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[mobility]\nkind = \"brownian\"\n", "unknown kind"},
+		{"mobility-bad-speeds", "version = 1\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[mobility]\nkind = \"waypoint\"\nspeed_min = 3\nspeed_max = 1\n", "speeds"},
+		{"mobility-trace-no-file", "version = 1\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[mobility]\nkind = \"trace\"\n", "requires a file"},
+		{"mobility-static-params", "version = 1\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[mobility]\nkind = \"static\"\nspeed_min = 1\n", "no parameters"},
+		{"mobility-unknown-key", "version = 1\n[topology]\nkind = \"grid\"\nrows = 2\ncols = 2\n[mobility]\nkind = \"waypoint\"\nspeed_min = 1\nspeed_max = 2\nvelocity = 9\n", "velocity"},
 		{"toml-syntax", "version = \n", "missing value"},
 		{"dup-key", "version = 1\nversion = 1\n", "duplicate key"},
 	}
@@ -388,5 +437,111 @@ enabled = true
 	}
 	if setup.Shards != 0 {
 		t.Fatalf("shards = %d, want 0 (package default)", setup.Shards)
+	}
+}
+
+// TestMobilityTrace exercises the trace-playback kind end to end at the
+// document layer: the file is read and validated at Validate time and
+// again when the compiled factory builds the model.
+func TestMobilityTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "walk.json")
+	trace := `[[2, 0, 5.5, 0], [4, 3, 0, 9], [2, 1, 1, 1]]`
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := fmt.Sprintf(`
+version = 1
+[topology]
+kind = "grid"
+rows = 2
+cols = 2
+[mobility]
+kind = "trace"
+file = %q
+every = "1s"
+`, path)
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Mobility.Label(); got != "trace-walk" {
+		t.Fatalf("Label() = %q, want trace-walk", got)
+	}
+	setup, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup.Mobility == nil || setup.MobilityEvery != time.Second {
+		t.Fatalf("trace mobility did not compile: every = %v", setup.MobilityEvery)
+	}
+	layout, err := sc.Topology.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := setup.Mobility(layout, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv := model.Moves(2 * time.Second); len(mv) != 2 {
+		t.Fatalf("trace at 2s moved %d nodes, want 2", len(mv))
+	}
+	if mv := model.Moves(4 * time.Second); len(mv) != 1 || mv[0].ID != 3 {
+		t.Fatalf("trace at 4s = %+v, want node 3", mv)
+	}
+	// A trace addressing a node past the layout must fail validation.
+	bad := strings.Replace(doc, "rows = 2", "rows = 1", 1)
+	if _, err := Parse([]byte(bad)); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Parse() = %v, want node-out-of-range error", err)
+	}
+}
+
+// TestCompiledMobileScenarioRuns drives a [mobility] waypoint document
+// through Compile into a full simulation: the run must complete with
+// byte-identical images while the geometry demonstrably absorbed moves.
+func TestCompiledMobileScenarioRuns(t *testing.T) {
+	doc := `
+version = 1
+name = "mobile-e2e"
+[topology]
+kind = "grid"
+rows = 4
+cols = 4
+[mobility]
+kind = "waypoint"
+speed_min = 1
+speed_max = 3
+pause = "10s"
+every = "2s"
+[protocol]
+name = "gossip"
+[run]
+seed = 42
+image_packets = 32
+limit = "4h"
+`
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := sc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiment.Run(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("incomplete: %d/%d", res.Network.CompletedCount(), res.Layout.N())
+	}
+	if err := res.VerifyImages(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Medium.Geometry().Moves() == 0 {
+		t.Fatal("compiled mobile scenario never moved a node")
 	}
 }

@@ -14,7 +14,15 @@ import (
 // query disc instead of every node. Storage is two flat arrays (CSR
 // style) — ids sorted by (cell, id) plus per-cell offsets — so an index
 // over N nodes costs O(N) memory regardless of density. An Index is
-// immutable and safe for concurrent readers.
+// safe for concurrent readers; Move and Remove are incremental updates
+// and must be externally serialized against readers (the engine applies
+// them only at lockstep barriers, with all workers parked).
+//
+// The grid geometry (bounding box, cell size) is fixed at construction:
+// points that drift outside the original bounding box land in the
+// clamped edge cells, which stays correct because every query filters
+// by exact distance — only the constant factor degrades if most nodes
+// leave the box.
 type Index struct {
 	pts        []Point
 	minX, minY float64
@@ -22,6 +30,7 @@ type Index struct {
 	cols, rows int
 	cellStart  []int32 // len cols*rows+1; cell c holds ids[cellStart[c]:cellStart[c+1]]
 	ids        []int32 // node IDs sorted by (cell, id)
+	gone       []bool  // nil until the first Remove; gone[id] = not indexed
 }
 
 // maxCellsFactor bounds the cell count relative to the node count, so a
@@ -161,3 +170,110 @@ func (ix *Index) clampRow(y float64) int {
 	}
 	return r
 }
+
+// CellIndex returns the cell a point maps to (clamped into the grid),
+// for callers that version per-cell state alongside the index.
+func (ix *Index) CellIndex(p Point) int { return ix.cellOf(p) }
+
+// CellRect returns the inclusive cell-coordinate rectangle covering the
+// disc of the given radius around p — the exact cell set AppendWithin
+// walks for that query.
+func (ix *Index) CellRect(p Point, radius float64) (cx0, cy0, cx1, cy1 int) {
+	return ix.clampCol(p.X - radius), ix.clampRow(p.Y - radius),
+		ix.clampCol(p.X + radius), ix.clampRow(p.Y + radius)
+}
+
+// locate returns the absolute position of id inside cell c's slice.
+// The id must be present; the CSR invariant (ascending ids per cell)
+// makes this a binary search.
+func (ix *Index) locate(c int, id int32) int {
+	seg := ix.ids[ix.cellStart[c]:ix.cellStart[c+1]]
+	k, ok := slices.BinarySearch(seg, id)
+	if !ok {
+		panic(fmt.Sprintf("topology: index corrupt: id %d not in cell %d", id, c))
+	}
+	return int(ix.cellStart[c]) + k
+}
+
+// Move updates node id's position to p, relocating it between cells so
+// the CSR arrays stay exact (each cell's slice sorted, offsets
+// consistent). Moving a removed id reinserts it. The position write
+// goes through the shared point slice, so the owning Layout observes
+// the new coordinates too. Cost is O(1) for a same-cell move and
+// O(|ids between the two cells|) otherwise — small for the short hops
+// mobility models produce.
+func (ix *Index) Move(id packet.NodeID, p Point) {
+	if ix.gone != nil && ix.gone[id] {
+		ix.pts[id] = p
+		ix.reinsert(id)
+		return
+	}
+	from := ix.cellOf(ix.pts[id])
+	ix.pts[id] = p
+	to := ix.cellOf(p)
+	if to == from {
+		return
+	}
+	i := ix.locate(from, int32(id))
+	if to > from {
+		// Insertion point in the target cell, indexed in the pre-removal
+		// array; removing position i (< cellStart[to]) shifts everything
+		// in (i, j) left one, so id lands at j-1.
+		tseg := ix.ids[ix.cellStart[to]:ix.cellStart[to+1]]
+		k, _ := slices.BinarySearch(tseg, int32(id))
+		j := int(ix.cellStart[to]) + k
+		copy(ix.ids[i:j-1], ix.ids[i+1:j])
+		ix.ids[j-1] = int32(id)
+		for c := from + 1; c <= to; c++ {
+			ix.cellStart[c]--
+		}
+	} else {
+		tseg := ix.ids[ix.cellStart[to]:ix.cellStart[to+1]]
+		k, _ := slices.BinarySearch(tseg, int32(id))
+		j := int(ix.cellStart[to]) + k
+		copy(ix.ids[j+1:i+1], ix.ids[j:i])
+		ix.ids[j] = int32(id)
+		for c := to + 1; c <= from; c++ {
+			ix.cellStart[c]++
+		}
+	}
+}
+
+// Remove deletes node id from the index: no query returns it until a
+// later Move reinserts it. The point slice keeps its entry (IDs are
+// dense indices), only the CSR arrays shrink. Removing an absent id is
+// a no-op. Cost is O(N) in the tail shift.
+func (ix *Index) Remove(id packet.NodeID) {
+	if ix.gone == nil {
+		ix.gone = make([]bool, len(ix.pts))
+	} else if ix.gone[id] {
+		return
+	}
+	c := ix.cellOf(ix.pts[id])
+	i := ix.locate(c, int32(id))
+	copy(ix.ids[i:], ix.ids[i+1:])
+	ix.ids = ix.ids[:len(ix.ids)-1]
+	for cc := c + 1; cc < len(ix.cellStart); cc++ {
+		ix.cellStart[cc]--
+	}
+	ix.gone[id] = true
+}
+
+// reinsert puts a previously Removed id back at its current position.
+func (ix *Index) reinsert(id packet.NodeID) {
+	c := ix.cellOf(ix.pts[id])
+	seg := ix.ids[ix.cellStart[c]:ix.cellStart[c+1]]
+	k, _ := slices.BinarySearch(seg, int32(id))
+	j := int(ix.cellStart[c]) + k
+	ix.ids = append(ix.ids, 0)
+	copy(ix.ids[j+1:], ix.ids[j:])
+	ix.ids[j] = int32(id)
+	for cc := c + 1; cc < len(ix.cellStart); cc++ {
+		ix.cellStart[cc]++
+	}
+	ix.gone[id] = false
+}
+
+// Indexed returns how many nodes the index currently holds (N minus
+// removals).
+func (ix *Index) Indexed() int { return len(ix.ids) }

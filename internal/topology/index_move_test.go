@@ -1,0 +1,210 @@
+package topology
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"mnp/internal/packet"
+)
+
+// checkCSR verifies the index's structural invariants: offsets are
+// monotone and bounded, every listed id maps back to the cell holding
+// it, each cell's slice is sorted, and removed ids appear nowhere.
+func checkCSR(t *testing.T, ix *Index) {
+	t.Helper()
+	nc := ix.cols * ix.rows
+	if len(ix.cellStart) != nc+1 {
+		t.Fatalf("cellStart length %d, want %d", len(ix.cellStart), nc+1)
+	}
+	if ix.cellStart[0] != 0 || int(ix.cellStart[nc]) != len(ix.ids) {
+		t.Fatalf("cellStart bounds [%d, %d], want [0, %d]", ix.cellStart[0], ix.cellStart[nc], len(ix.ids))
+	}
+	for c := 0; c < nc; c++ {
+		if ix.cellStart[c] > ix.cellStart[c+1] {
+			t.Fatalf("cellStart not monotone at cell %d: %d > %d", c, ix.cellStart[c], ix.cellStart[c+1])
+		}
+		seg := ix.ids[ix.cellStart[c]:ix.cellStart[c+1]]
+		for i, id := range seg {
+			if i > 0 && seg[i-1] >= id {
+				t.Fatalf("cell %d ids not strictly ascending: %v", c, seg)
+			}
+			if got := ix.cellOf(ix.pts[id]); got != c {
+				t.Fatalf("id %d listed in cell %d but its point maps to cell %d", id, c, got)
+			}
+			if ix.gone != nil && ix.gone[id] {
+				t.Fatalf("removed id %d still listed in cell %d", id, c)
+			}
+		}
+	}
+}
+
+// checkAgainstRebuild pins the mutated index to a rebuild-from-scratch
+// reference: a fresh NewIndex over the same (moved) points must answer
+// every AppendWithin query identically, modulo ids removed from the
+// incremental index.
+func checkAgainstRebuild(t *testing.T, ix *Index, l *Layout, cell, radius float64) {
+	t.Helper()
+	ref, err := NewIndex(l, cell)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	var got, want []packet.NodeID
+	for id := 0; id < l.N(); id++ {
+		got = ix.AppendWithin(packet.NodeID(id), radius, got[:0])
+		want = ref.AppendWithin(packet.NodeID(id), radius, want[:0])
+		if ix.gone != nil {
+			want = slices.DeleteFunc(want, func(o packet.NodeID) bool { return ix.gone[o] })
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("query %d after moves: incremental %v, rebuild %v", id, got, want)
+		}
+	}
+}
+
+// TestIndexMoveMatchesRebuild drives long random move/remove sequences
+// — including moves far outside the original bounding box, which land
+// in the clamped edge cells — and pins every intermediate state to a
+// full rebuild.
+func TestIndexMoveMatchesRebuild(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		l, err := FromPoints("move-prop", pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const cell = 15.0
+		ix, err := NewIndex(l, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 200; step++ {
+			id := packet.NodeID(rng.Intn(n))
+			switch {
+			case rng.Intn(10) == 0:
+				ix.Remove(id)
+			default:
+				// Mostly short hops, sometimes a teleport past the bbox.
+				p := ix.pts[id]
+				if rng.Intn(5) == 0 {
+					p = Point{X: rng.Float64()*400 - 150, Y: rng.Float64()*400 - 150}
+				} else {
+					p.X += rng.Float64()*20 - 10
+					p.Y += rng.Float64()*20 - 10
+				}
+				ix.Move(id, p)
+			}
+			checkCSR(t, ix)
+			if step%20 == 19 {
+				checkAgainstRebuild(t, ix, l, cell, 25)
+			}
+		}
+		checkAgainstRebuild(t, ix, l, cell, 25)
+	}
+}
+
+// TestIndexRemoveThenMoveReinserts covers the resurrection path: a
+// removed id vanishes from queries and comes back at its new position
+// after a Move.
+func TestIndexRemoveThenMoveReinserts(t *testing.T) {
+	l, err := FromPoints("reinsert", []Point{{0, 0}, {5, 0}, {10, 0}, {15, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(l, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Remove(1)
+	if ix.Indexed() != 3 {
+		t.Fatalf("Indexed() = %d after one removal, want 3", ix.Indexed())
+	}
+	if got := ix.AppendWithin(0, 6, nil); len(got) != 0 {
+		t.Fatalf("query near removed node returned %v, want none", got)
+	}
+	ix.Remove(1) // idempotent
+	if ix.Indexed() != 3 {
+		t.Fatalf("Indexed() = %d after double removal, want 3", ix.Indexed())
+	}
+	ix.Move(1, Point{X: 14, Y: 0})
+	if ix.Indexed() != 4 {
+		t.Fatalf("Indexed() = %d after reinsert, want 4", ix.Indexed())
+	}
+	checkCSR(t, ix)
+	got := ix.AppendWithin(3, 2, nil)
+	if want := []packet.NodeID{1}; !slices.Equal(got, want) {
+		t.Fatalf("query after reinsert = %v, want %v", got, want)
+	}
+}
+
+// FuzzIndexMoves feeds arbitrary move/remove sequences to the
+// incremental index and cross-checks structure plus query equivalence
+// with a rebuilt reference. Each 3-byte opcode is (id, x, y); x = y =
+// 255 encodes a removal.
+func FuzzIndexMoves(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 0, 20, 0, 30, 0}, []byte{1, 200, 200, 2, 255, 255, 2, 3, 3})
+	f.Add([]byte{5, 5, 5, 5, 5, 5}, []byte{0, 255, 255, 0, 7, 7})
+	f.Add([]byte{0, 0, 0, 200, 200, 0, 200, 200}, []byte{3, 0, 0, 0, 200, 200, 1, 100, 100})
+	f.Fuzz(func(t *testing.T, raw, ops []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		if len(raw) > 128 {
+			raw = raw[:128]
+		}
+		if len(ops) > 384 {
+			ops = ops[:384]
+		}
+		pts := make([]Point, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, Point{X: float64(raw[i]) / 4, Y: float64(raw[i+1]) / 4})
+		}
+		l, err := FromPoints("fuzz-moves", pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const cell = 7.0
+		ix, err := NewIndex(l, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+2 < len(ops); i += 3 {
+			id := packet.NodeID(int(ops[i]) % len(pts))
+			if ops[i+1] == 255 && ops[i+2] == 255 {
+				ix.Remove(id)
+			} else {
+				ix.Move(id, Point{X: float64(ops[i+1]) / 4, Y: float64(ops[i+2]) / 4})
+			}
+			checkCSR(t, ix)
+		}
+		checkAgainstRebuild(t, ix, l, cell, 9)
+	})
+}
+
+// BenchmarkIndexMove measures the incremental update on a 10k-node
+// grid: each iteration hops one node to an adjacent cell and back —
+// the short-hop pattern mobility models produce at every barrier.
+func BenchmarkIndexMove(b *testing.B) {
+	l, err := Grid(100, 100, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := NewIndex(l, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := l.Points()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := packet.NodeID(i % l.N())
+		home := pts[id]
+		ix.Move(id, Point{X: home.X + 16, Y: home.Y})
+		ix.Move(id, home)
+	}
+}

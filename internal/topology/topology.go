@@ -177,6 +177,13 @@ func (l *Layout) DistanceMatrix() []float64 {
 	return d
 }
 
+// InvalidateDistanceCache drops the cached DistanceMatrix. Mobility
+// models mutate node positions through the spatial index's shared
+// point slice; the radio geometry calls this on every move so a stale
+// matrix is never served afterwards. Distance and Pos always read the
+// live points and need no invalidation.
+func (l *Layout) InvalidateDistanceCache() { l.dist = nil }
+
 // NeighborsWithin returns, for every node, the IDs of all other nodes
 // at distance <= radius in ascending ID order — one precomputed
 // adjacency table for the whole layout. Row id is identical to
