@@ -1,0 +1,526 @@
+// Package checkpoint implements deep snapshot and restore-in-place of
+// live object graphs, the state-capture half of the engine's optimistic
+// window execution (DESIGN.md §4l).
+//
+// Capture walks the graph from a set of root pointers and records, per
+// reachable object, a typed shadow copy of its memory: pointer targets
+// become regions (restored word for word at the original address),
+// slice contents are copied and restored into the original backing
+// array, and maps are copied entry by entry and rebuilt on restore.
+// Restore writes every copy back *in place*, so pointer identity is
+// preserved: event pointers held by timer handles, closures bound to
+// node objects, and free-list entries all remain valid across a
+// rollback — which is what lets the simulation resume from a restored
+// checkpoint as if the speculated windows never ran.
+//
+// The walker is deliberately conservative about what it treats as
+// state:
+//
+//   - Funcs, channels, and strings are opaque words: the pointer is
+//     restored by the enclosing region copy, the referent is never
+//     followed. Closures must therefore not capture mutable locals that
+//     outlive an event (the simulation's closures capture only objects
+//     the walker reaches by other paths).
+//   - Non-pointer values boxed in interfaces are immutable in Go, so
+//     only the reference types *inside* them are followed.
+//   - Pointer types named in the Config are never followed: shared
+//     read-mostly structures (geometry, layouts, images) and state with
+//     its own cheaper checkpoint mechanism (journaled stores) are
+//     excluded there, as are struct fields tagged `checkpoint:"skip"`,
+//     which are neither copied nor restored (left alone entirely).
+//
+// Objects implementing Versioned get a copy-on-advance fast path: the
+// Context caches their deep copy keyed by StateVersion and reuses it
+// while the version is unchanged, so a checkpoint costs O(state that
+// actually advanced) — the property that makes per-round checkpoints of
+// hundreds of mostly-sleeping node RNGs affordable.
+//
+// The walk itself is driven by per-type plans built once and cached for
+// the life of the process: each plan precomputes the kind dispatch, the
+// list of reference-bearing struct fields (with their child plans), the
+// element and key plans of containers, the Versioned check, and the
+// `checkpoint:"skip"` mask. The hot path therefore never touches
+// reflect.Type metadata — no per-visit field decoding, interface
+// satisfaction checks, or type-keyed map hashing — which is what keeps
+// a per-round capture of a few hundred nodes in the microsecond-to-
+// millisecond range rather than tens of milliseconds.
+package checkpoint
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+	"unsafe"
+)
+
+// Versioned marks state whose mutation is countable: StateVersion
+// returns a stamp that changes whenever the object's state may have
+// changed (a draw counter on an RNG source, for example). The Context
+// caches the deep copy of a Versioned object and reuses it while the
+// stamp holds still. A Versioned object must be reachable from the
+// roots only through itself: the cache owns the object's subgraph, so a
+// second path into it would capture a stale view.
+type Versioned interface {
+	StateVersion() uint64
+}
+
+// Config names the pointer types a walker never follows. It is
+// immutable after construction and safe to share between Contexts.
+type Config struct {
+	skip map[*plan]bool
+}
+
+// NewConfig builds a Config from typed nil pointers naming the types to
+// skip, e.g. NewConfig((*topology.Layout)(nil)). *time.Location is
+// always skipped: time.Time values would otherwise drag the shared zone
+// database into every snapshot.
+func NewConfig(skipPtrs ...any) *Config {
+	cfg := &Config{skip: map[*plan]bool{
+		planFor(reflect.TypeOf((*time.Location)(nil))): true,
+	}}
+	for _, p := range skipPtrs {
+		t := reflect.TypeOf(p)
+		if t == nil || t.Kind() != reflect.Pointer {
+			panic(fmt.Sprintf("checkpoint: skip entry %T is not a pointer type", p))
+		}
+		cfg.skip[planFor(t)] = true
+	}
+	return cfg
+}
+
+// Context carries the cross-snapshot state of one checkpoint domain:
+// the config and the Versioned-object cache. A Context must not be
+// used from two goroutines at once; give each isolated domain (each
+// engine tile) its own.
+type Context struct {
+	cfg   *Config
+	cache map[cacheKey]*versionedEntry
+}
+
+// cacheKey identifies one captured object: its address plus the plan of
+// its type. Plans are canonical per type, so the pointer stands in for
+// the reflect.Type without paying interface hashing on every lookup.
+type cacheKey struct {
+	ptr unsafe.Pointer
+	pl  *plan
+}
+
+// NewContext returns an empty Context over the Config.
+func (c *Config) NewContext() *Context {
+	return &Context{cfg: c, cache: make(map[cacheKey]*versionedEntry)}
+}
+
+// region is one pointer target: pl.typ bytes at addr, restored from shadow.
+type region struct {
+	pl     *plan
+	addr   unsafe.Pointer
+	shadow reflect.Value // addressable copy of the captured value
+}
+
+// sliceSeg is the captured content of one backing array; live is a
+// detached header over the original array, snap the element copies.
+type sliceSeg struct {
+	live reflect.Value
+	snap reflect.Value
+}
+
+// mapSeg is one captured map: live is a detached reference to the map
+// object, keys/vals the captured entries rebuilt on restore.
+type mapSeg struct {
+	live reflect.Value
+	keys []reflect.Value
+	vals []reflect.Value
+}
+
+type versionedEntry struct {
+	version uint64
+	sub     *Snapshot
+}
+
+type cachedRef struct {
+	obj Versioned
+	ent *versionedEntry
+}
+
+// Snapshot is one captured checkpoint. Restore may be called any
+// number of times (a rollback can itself be rolled back further); the
+// shadows are never mutated after Capture.
+type Snapshot struct {
+	ctx     *Context
+	regions []region
+	slices  []sliceSeg
+	maps    []mapSeg
+	cached  []cachedRef
+
+	// walk-time memos, dropped when Capture returns
+	seen     map[cacheKey]struct{}
+	seenSeg  map[cacheKey]int // slice backing array -> captured len
+	seenMaps map[cacheKey]struct{}
+}
+
+// Capture deep-copies the object graph reachable from the given roots,
+// each of which must be a non-nil pointer. The graph must be quiescent
+// (no concurrent mutation) for the duration of the call.
+func Capture(ctx *Context, roots ...any) *Snapshot {
+	s := &Snapshot{
+		ctx:      ctx,
+		seen:     make(map[cacheKey]struct{}, 256),
+		seenSeg:  make(map[cacheKey]int, 64),
+		seenMaps: make(map[cacheKey]struct{}, 8),
+	}
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		v := reflect.ValueOf(r)
+		if v.Kind() != reflect.Pointer {
+			panic(fmt.Sprintf("checkpoint: root %T is not a pointer", r))
+		}
+		if v.IsNil() {
+			continue
+		}
+		s.capturePtr(v, planFor(v.Type()))
+	}
+	s.seen, s.seenSeg, s.seenMaps = nil, nil, nil
+	return s
+}
+
+// Restore writes every captured copy back to its original location.
+func (s *Snapshot) Restore() {
+	for i := range s.regions {
+		r := &s.regions[i]
+		copyRegion(reflect.NewAt(r.pl.typ, r.addr).Elem(), r.shadow, r.pl)
+	}
+	for i := range s.slices {
+		reflect.Copy(s.slices[i].live, s.slices[i].snap)
+	}
+	for i := range s.maps {
+		m := &s.maps[i]
+		m.live.Clear()
+		for j := range m.keys {
+			m.live.SetMapIndex(m.keys[j], m.vals[j])
+		}
+	}
+	for i := range s.cached {
+		c := &s.cached[i]
+		if c.obj.StateVersion() != c.ent.version {
+			c.ent.sub.Restore()
+		}
+	}
+}
+
+var versionedType = reflect.TypeOf((*Versioned)(nil)).Elem()
+
+// capturePtr records the target of p (a non-nil pointer Value with plan
+// pl) and walks into it, once per (address, pointee type).
+func (s *Snapshot) capturePtr(p reflect.Value, pl *plan) {
+	if s.ctx.cfg.skip[pl] {
+		return
+	}
+	ptr := unsafe.Pointer(p.Pointer())
+	key := cacheKey{ptr, pl.elem}
+	if _, ok := s.seen[key]; ok {
+		return
+	}
+	s.seen[key] = struct{}{}
+	if pl.versioned {
+		s.captureVersioned(p, ptr, pl.elem)
+		return
+	}
+	s.captureRegion(reflect.NewAt(pl.elem.typ, ptr).Elem(), ptr, pl.elem)
+}
+
+// captureVersioned serves a Versioned target from the Context cache
+// when its version is unchanged, else re-captures its subgraph and
+// refreshes the cache.
+func (s *Snapshot) captureVersioned(p reflect.Value, ptr unsafe.Pointer, epl *plan) {
+	v := p.Interface().(Versioned)
+	key := cacheKey{ptr, epl}
+	if ent, ok := s.ctx.cache[key]; ok && ent.version == v.StateVersion() {
+		s.cached = append(s.cached, cachedRef{obj: v, ent: ent})
+		return
+	}
+	sub := &Snapshot{ctx: s.ctx, seen: s.seen, seenSeg: s.seenSeg, seenMaps: s.seenMaps}
+	sub.captureRegion(reflect.NewAt(epl.typ, ptr).Elem(), ptr, epl)
+	sub.seen, sub.seenSeg, sub.seenMaps = nil, nil, nil
+	ent := &versionedEntry{version: v.StateVersion(), sub: sub}
+	s.ctx.cache[key] = ent
+	s.cached = append(s.cached, cachedRef{obj: v, ent: ent})
+}
+
+// captureRegion shadows the value at addr and walks its reference
+// fields. live must be the addressable view of the target; pl its plan.
+func (s *Snapshot) captureRegion(live reflect.Value, addr unsafe.Pointer, pl *plan) {
+	shadow := reflect.New(pl.typ).Elem()
+	copyRegion(shadow, live, pl)
+	s.regions = append(s.regions, region{pl: pl, addr: addr, shadow: shadow})
+	if pl.hasRefs {
+		s.walk(live, pl)
+	}
+}
+
+// copyRegion copies src into dst, skipping `checkpoint:"skip"` fields.
+func copyRegion(dst, src reflect.Value, pl *plan) {
+	if pl.skip == nil {
+		dst.Set(src)
+		return
+	}
+	for i := range pl.skip {
+		if pl.skip[i] {
+			continue
+		}
+		fieldView(dst, i).Set(fieldView(src, i))
+	}
+}
+
+// fieldView returns field i of an addressable struct value as a
+// settable Value, bypassing the read-only flag on unexported fields.
+func fieldView(v reflect.Value, i int) reflect.Value {
+	f := v.Field(i)
+	if f.CanSet() {
+		return f
+	}
+	return reflect.NewAt(f.Type(), unsafe.Pointer(f.UnsafeAddr())).Elem()
+}
+
+// walk recurses into the reference types inside v, whose plan is pl. v
+// is never read-only; it is addressable except for detached copies,
+// which are re-detached before struct field access.
+func (s *Snapshot) walk(v reflect.Value, pl *plan) {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if !v.IsNil() {
+			s.capturePtr(v, pl)
+		}
+	case reflect.Interface:
+		if v.IsNil() {
+			return
+		}
+		e := v.Elem()
+		epl := planFor(e.Type())
+		switch e.Kind() {
+		case reflect.Pointer:
+			if !e.IsNil() {
+				s.capturePtr(e, epl)
+			}
+		case reflect.Map:
+			s.captureMap(e, epl)
+		case reflect.Slice:
+			s.captureSlice(e, epl)
+		default:
+			// A non-pointer value boxed in an interface is immutable;
+			// only references inside it are live state.
+			if epl.hasRefs {
+				s.walk(detach(e), epl)
+			}
+		}
+	case reflect.Struct:
+		if len(pl.refFields) == 0 {
+			return
+		}
+		if !v.CanAddr() {
+			v = detach(v)
+		}
+		for _, f := range pl.refFields {
+			s.walk(fieldView(v, f.i), f.pl)
+		}
+	case reflect.Array:
+		if !pl.elem.hasRefs {
+			return
+		}
+		if !v.CanAddr() {
+			v = detach(v)
+		}
+		for i := 0; i < v.Len(); i++ {
+			s.walk(v.Index(i), pl.elem)
+		}
+	case reflect.Slice:
+		s.captureSlice(v, pl)
+	case reflect.Map:
+		s.captureMap(v, pl)
+	}
+}
+
+// captureSlice records the [0, len) contents of v's backing array and
+// walks the elements. The enclosing region copy restores the header;
+// this segment restores the content.
+func (s *Snapshot) captureSlice(v reflect.Value, pl *plan) {
+	if v.IsNil() {
+		return
+	}
+	n := v.Len()
+	if n == 0 {
+		return
+	}
+	key := cacheKey{unsafe.Pointer(v.Pointer()), pl}
+	if prev, ok := s.seenSeg[key]; ok && prev >= n {
+		return
+	}
+	s.seenSeg[key] = n
+	snap := reflect.MakeSlice(pl.typ, n, n)
+	reflect.Copy(snap, v)
+	s.slices = append(s.slices, sliceSeg{live: v.Slice(0, n), snap: snap})
+	if pl.elem.hasRefs {
+		for i := 0; i < n; i++ {
+			s.walk(v.Index(i), pl.elem)
+		}
+	}
+}
+
+// captureMap records v's entries; restore clears the live map and
+// reinserts them (entries added during speculation vanish, removed or
+// overwritten ones return).
+func (s *Snapshot) captureMap(v reflect.Value, pl *plan) {
+	if v.IsNil() {
+		return
+	}
+	key := cacheKey{unsafe.Pointer(v.Pointer()), pl}
+	if _, ok := s.seenMaps[key]; ok {
+		return
+	}
+	s.seenMaps[key] = struct{}{}
+	seg := mapSeg{live: detach(v)}
+	kRefs := pl.key.hasRefs
+	vRefs := pl.elem.hasRefs
+	iter := v.MapRange()
+	for iter.Next() {
+		k := detach(iter.Key())
+		val := detach(iter.Value())
+		seg.keys = append(seg.keys, k)
+		seg.vals = append(seg.vals, val)
+		if kRefs {
+			s.walk(k, pl.key)
+		}
+		if vRefs {
+			s.walk(val, pl.elem)
+		}
+	}
+	s.maps = append(s.maps, seg)
+}
+
+// detach copies v into a fresh addressable Value, so later reads see
+// the captured words rather than whatever the original location holds
+// by then.
+func detach(v reflect.Value) reflect.Value {
+	d := reflect.New(v.Type()).Elem()
+	d.Set(v)
+	return d
+}
+
+// --- type plans ---
+
+// plan caches everything the walker needs to know about one type:
+// whether it transitively contains reference kinds worth walking, which
+// struct fields are tagged `checkpoint:"skip"`, the reference-bearing
+// struct fields with their child plans, the element/key plans of
+// containers and pointers, and (for pointer types) whether the type
+// implements Versioned. One canonical plan exists per type, so plan
+// pointers double as type identities in memo keys.
+type plan struct {
+	typ       reflect.Type
+	hasRefs   bool
+	versioned bool   // pointer types: implements Versioned
+	skip      []bool // struct types: nil when no field is tagged
+	refFields []refField
+	elem      *plan // pointer/slice/array elem, map value
+	key       *plan // map key
+}
+
+// refField is one struct field the walker must recurse into.
+type refField struct {
+	i  int
+	pl *plan
+}
+
+// rtypePtr extracts the *rtype word from a reflect.Type interface, a
+// stable per-type identity cheaper to hash than the interface itself.
+func rtypePtr(t reflect.Type) unsafe.Pointer {
+	return (*[2]unsafe.Pointer)(unsafe.Pointer(&t))[1]
+}
+
+var (
+	plans    sync.Map // unsafe.Pointer (*rtype) -> *plan, complete plans only
+	plansMu  sync.Mutex
+	building = map[unsafe.Pointer]*plan{} // under plansMu: plans mid-construction
+)
+
+// planFor returns the canonical plan for t, building it (and every plan
+// it references) on first use. Partially-built plans live in `building`
+// until the whole type graph is complete, so readers of the sync.Map
+// only ever observe finished plans.
+func planFor(t reflect.Type) *plan {
+	if p, ok := plans.Load(rtypePtr(t)); ok {
+		return p.(*plan)
+	}
+	plansMu.Lock()
+	defer plansMu.Unlock()
+	p := buildPlan(t)
+	for tp, bp := range building {
+		plans.Store(tp, bp)
+		delete(building, tp)
+	}
+	return p
+}
+
+// buildPlan constructs the plan for t recursively; plansMu must be
+// held. Cycles (Node -> *Node) terminate through the `building` memo.
+func buildPlan(t reflect.Type) *plan {
+	tp := rtypePtr(t)
+	if p, ok := plans.Load(tp); ok {
+		return p.(*plan)
+	}
+	if p, ok := building[tp]; ok {
+		return p
+	}
+	p := &plan{typ: t, hasRefs: hasRefs(t)}
+	building[tp] = p
+	switch t.Kind() {
+	case reflect.Pointer:
+		p.versioned = t.Implements(versionedType)
+		p.elem = buildPlan(t.Elem())
+	case reflect.Slice, reflect.Array:
+		p.elem = buildPlan(t.Elem())
+	case reflect.Map:
+		p.key = buildPlan(t.Key())
+		p.elem = buildPlan(t.Elem())
+	case reflect.Struct:
+		n := t.NumField()
+		for i := 0; i < n; i++ {
+			f := t.Field(i)
+			if f.Tag.Get("checkpoint") == "skip" {
+				if p.skip == nil {
+					p.skip = make([]bool, n)
+				}
+				p.skip[i] = true
+				continue
+			}
+			fp := buildPlan(f.Type)
+			if fp.hasRefs {
+				p.refFields = append(p.refFields, refField{i: i, pl: fp})
+			}
+		}
+	}
+	return p
+}
+
+// hasRefs reports whether t transitively contains pointers, slices,
+// maps, or interfaces — the kinds whose referents hold live state.
+// Funcs, channels, strings, and unsafe.Pointers are opaque words.
+func hasRefs(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Map, reflect.Interface:
+		return true
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if hasRefs(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	case reflect.Array:
+		return hasRefs(t.Elem())
+	default:
+		return false
+	}
+}

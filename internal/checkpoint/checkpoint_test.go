@@ -1,0 +1,252 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// widget exercises the kinds the walker must handle: unexported
+// scalars, nested pointers, slices of structs, maps, funcs, and
+// interfaces.
+type widget struct {
+	n       int
+	name    string
+	child   *widget
+	scores  []int
+	tags    map[string]int
+	hook    func() int
+	obs     any
+	skipped *widget `checkpoint:"skip"`
+}
+
+func newWidget() *widget {
+	w := &widget{
+		n:      1,
+		name:   "root",
+		child:  &widget{n: 2, name: "child"},
+		scores: []int{1, 2, 3},
+		tags:   map[string]int{"a": 1},
+	}
+	w.hook = func() int { return w.n }
+	w.skipped = &widget{n: 99}
+	return w
+}
+
+func TestRestoreRewindsScalarsSlicesMaps(t *testing.T) {
+	w := newWidget()
+	ctx := NewConfig().NewContext()
+	snap := Capture(ctx, w)
+
+	w.n = 100
+	w.name = "mutated"
+	w.child.n = 200
+	w.scores[0] = 42
+	w.scores = append(w.scores, 4)
+	w.tags["a"] = 9
+	w.tags["b"] = 2
+	delete(w.tags, "a")
+	w.tags["a"] = 7
+
+	snap.Restore()
+	if w.n != 1 || w.name != "root" || w.child.n != 2 {
+		t.Fatalf("scalars not restored: %+v child %+v", w, w.child)
+	}
+	if len(w.scores) != 3 || w.scores[0] != 1 {
+		t.Fatalf("slice not restored: %v", w.scores)
+	}
+	if len(w.tags) != 1 || w.tags["a"] != 1 {
+		t.Fatalf("map not restored: %v", w.tags)
+	}
+}
+
+func TestRestorePreservesPointerIdentity(t *testing.T) {
+	w := newWidget()
+	child := w.child
+	ctx := NewConfig().NewContext()
+	snap := Capture(ctx, w)
+	w.child = &widget{n: 55}
+	snap.Restore()
+	if w.child != child {
+		t.Fatal("child pointer replaced instead of restored in place")
+	}
+	if got := w.hook(); got != 1 {
+		t.Fatalf("closure sees n=%d after restore, want 1", got)
+	}
+}
+
+func TestSkippedFieldLeftAlone(t *testing.T) {
+	w := newWidget()
+	ctx := NewConfig().NewContext()
+	snap := Capture(ctx, w)
+	w.skipped.n = 123 // referent not walked
+	other := &widget{n: 7}
+	w.skipped = other // pointer word not copied either
+	snap.Restore()
+	if w.skipped != other || w.skipped.n != 7 {
+		t.Fatalf("skip-tagged field was restored: %+v", w.skipped)
+	}
+}
+
+func TestSkipTypeNotFollowed(t *testing.T) {
+	type holder struct {
+		w *widget
+	}
+	h := &holder{w: &widget{n: 1}}
+	cfg := NewConfig((*widget)(nil))
+	snap := Capture(cfg.NewContext(), h)
+	h.w.n = 42
+	snap.Restore()
+	if h.w.n != 42 {
+		t.Fatal("skip-typed target was restored")
+	}
+}
+
+func TestAliasedPointersCapturedOnce(t *testing.T) {
+	shared := &widget{n: 5}
+	a := &widget{child: shared}
+	b := &widget{child: shared}
+	snap := Capture(NewConfig().NewContext(), a, b)
+	shared.n = 50
+	snap.Restore()
+	if shared.n != 5 {
+		t.Fatal("shared target not restored")
+	}
+}
+
+func TestInterfaceTargetsWalked(t *testing.T) {
+	inner := &widget{n: 3}
+	w := &widget{obs: inner}
+	snap := Capture(NewConfig().NewContext(), w)
+	inner.n = 33
+	w.obs = "replaced"
+	snap.Restore()
+	if inner.n != 3 {
+		t.Fatal("interface target not restored")
+	}
+	if w.obs != any(inner) {
+		t.Fatal("interface word not restored")
+	}
+}
+
+func TestSliceOfInterfacesWalked(t *testing.T) {
+	type chain struct {
+		links []any
+	}
+	a, b := &widget{n: 1}, &widget{n: 2}
+	c := &chain{links: []any{a, b}}
+	snap := Capture(NewConfig().NewContext(), c)
+	a.n, b.n = 10, 20
+	snap.Restore()
+	if a.n != 1 || b.n != 2 {
+		t.Fatalf("interface slice targets not restored: %d %d", a.n, b.n)
+	}
+}
+
+func TestDoubleRestore(t *testing.T) {
+	w := newWidget()
+	snap := Capture(NewConfig().NewContext(), w)
+	w.n = 10
+	snap.Restore()
+	w.n = 20
+	w.scores[1] = 99
+	snap.Restore()
+	if w.n != 1 || w.scores[1] != 2 {
+		t.Fatalf("second restore failed: n=%d scores=%v", w.n, w.scores)
+	}
+}
+
+func TestRandRestoreReplaysDraws(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rng.Int63() // advance off the seed state
+	snap := Capture(NewConfig().NewContext(), rng)
+	want := make([]int64, 8)
+	for i := range want {
+		want[i] = rng.Int63()
+	}
+	snap.Restore()
+	for i := range want {
+		if got := rng.Int63(); got != want[i] {
+			t.Fatalf("draw %d: got %d want %d — RNG state not restored", i, got, want[i])
+		}
+	}
+}
+
+// countingSource mirrors sim.CountingSource: a Versioned wrapper whose
+// draw counter stamps the internal state.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64         { c.n++; return c.src.Int63() }
+func (c *countingSource) Uint64() uint64       { c.n++; return c.src.Uint64() }
+func (c *countingSource) Seed(seed int64)      { c.n++; c.src.Seed(seed) }
+func (c *countingSource) StateVersion() uint64 { return c.n }
+
+func TestVersionedCacheReuseAndRestore(t *testing.T) {
+	cs := &countingSource{src: rand.NewSource(7).(rand.Source64)}
+	rng := rand.New(cs)
+	ctx := NewConfig().NewContext()
+
+	snap := Capture(ctx, rng)
+	want := make([]int64, 4)
+	for i := range want {
+		want[i] = rng.Int63()
+	}
+	snap.Restore()
+	for i := range want {
+		if got := rng.Int63(); got != want[i] {
+			t.Fatalf("draw %d after restore: got %d want %d", i, got, want[i])
+		}
+	}
+
+	// Unchanged since the last capture: the cache entry must be reused
+	// (same entry pointer) and a restore must be a no-op.
+	snap2 := Capture(ctx, rng)
+	if len(snap2.cached) != 1 {
+		t.Fatalf("expected 1 cached ref, got %d", len(snap2.cached))
+	}
+	ver := cs.StateVersion()
+	snap2.Restore()
+	if cs.StateVersion() != ver {
+		t.Fatal("no-draw restore changed the version")
+	}
+	seq := rng.Int63()
+	snap2.Restore()
+	if got := rng.Int63(); got != seq {
+		t.Fatalf("cached restore diverged: got %d want %d", got, seq)
+	}
+}
+
+func TestMapValuesWithPointersWalked(t *testing.T) {
+	type book struct {
+		pages map[string]*widget
+	}
+	w := &widget{n: 1}
+	b := &book{pages: map[string]*widget{"w": w}}
+	snap := Capture(NewConfig().NewContext(), b)
+	w.n = 11
+	b.pages["x"] = &widget{n: 2}
+	snap.Restore()
+	if w.n != 1 {
+		t.Fatal("map value target not restored")
+	}
+	if len(b.pages) != 1 || b.pages["w"] != w {
+		t.Fatalf("map entries not restored: %v", b.pages)
+	}
+}
+
+func TestSliceHeaderReallocRestored(t *testing.T) {
+	type box struct {
+		xs []int
+	}
+	b := &box{xs: make([]int, 2, 2)}
+	b.xs[0], b.xs[1] = 1, 2
+	snap := Capture(NewConfig().NewContext(), b)
+	b.xs = append(b.xs, 3) // realloc
+	b.xs[0] = 100
+	snap.Restore()
+	if len(b.xs) != 2 || b.xs[0] != 1 || b.xs[1] != 2 {
+		t.Fatalf("realloc'd slice not restored: %v", b.xs)
+	}
+}

@@ -1,0 +1,158 @@
+package eeprom
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func mustWrite(t *testing.T, s *Store, seg, pkt int, payload []byte) {
+	t.Helper()
+	if err := s.Write(seg, pkt, payload); err != nil {
+		t.Fatalf("Write(%d,%d): %v", seg, pkt, err)
+	}
+}
+
+func TestJournalRollbackRewindsWrites(t *testing.T) {
+	s, _ := New(DefaultCapacity)
+	mustWrite(t, s, 1, 0, []byte("aa"))
+	mustWrite(t, s, 1, 1, []byte("bb"))
+
+	s.Begin()
+	mustWrite(t, s, 1, 2, []byte("cc"))  // new slot in existing row
+	mustWrite(t, s, 3, 0, []byte("dd"))  // new segment
+	mustWrite(t, s, 1, 0, []byte("AAA")) // overwrite, reuses backing
+	s.Rollback()
+
+	if got := s.Read(1, 0); !bytes.Equal(got, []byte("aa")) {
+		t.Fatalf("slot (1,0) = %q, want aa", got)
+	}
+	if s.Has(1, 2) || s.Has(3, 0) {
+		t.Fatal("speculative slots survived rollback")
+	}
+	if s.Slots() != 2 || s.Used() != 4 {
+		t.Fatalf("counters not restored: slots=%d used=%d", s.Slots(), s.Used())
+	}
+	if s.WriteCount(1, 0) != 1 {
+		t.Fatalf("write count not restored: %d", s.WriteCount(1, 0))
+	}
+}
+
+func TestJournalCommitKeepsWrites(t *testing.T) {
+	s, _ := New(DefaultCapacity)
+	s.Begin()
+	mustWrite(t, s, 1, 0, []byte("aa"))
+	s.Commit()
+	if !s.Has(1, 0) || s.Slots() != 1 {
+		t.Fatal("committed write lost")
+	}
+	// A later rollback without Begin must be a no-op.
+	s.Rollback()
+	if !s.Has(1, 0) {
+		t.Fatal("rollback without Begin rewound committed state")
+	}
+}
+
+func TestJournalOverwriteAfterRowGrowth(t *testing.T) {
+	// A slot noted before its row reallocs must restore into the
+	// Begin-time backing, not the discarded grown one.
+	s, _ := New(DefaultCapacity)
+	mustWrite(t, s, 1, 0, []byte("aa"))
+
+	s.Begin()
+	mustWrite(t, s, 1, 0, []byte("XX"))  // note slot, mutate in old backing
+	mustWrite(t, s, 1, 40, []byte("yy")) // forces row realloc
+	mustWrite(t, s, 1, 0, []byte("ZZ"))  // mutate in new backing
+	s.Rollback()
+
+	if got := s.Read(1, 0); !bytes.Equal(got, []byte("aa")) {
+		t.Fatalf("slot (1,0) = %q, want aa", got)
+	}
+	if s.Has(1, 40) {
+		t.Fatal("grown slot survived rollback")
+	}
+}
+
+func TestJournalEraseRollback(t *testing.T) {
+	s, _ := New(DefaultCapacity)
+	mustWrite(t, s, 1, 0, []byte("aa"))
+	mustWrite(t, s, 2, 0, []byte("bb"))
+
+	s.Begin()
+	mustWrite(t, s, 1, 1, []byte("cc"))
+	s.Erase()
+	mustWrite(t, s, 5, 3, []byte("post-erase")) // fresh arrays, no notes
+	s.Rollback()
+
+	if got := s.Read(1, 0); !bytes.Equal(got, []byte("aa")) {
+		t.Fatalf("slot (1,0) = %q, want aa", got)
+	}
+	if got := s.Read(2, 0); !bytes.Equal(got, []byte("bb")) {
+		t.Fatalf("slot (2,0) = %q, want bb", got)
+	}
+	if s.Has(1, 1) || s.Has(5, 3) {
+		t.Fatal("speculative or post-erase slots survived rollback")
+	}
+	if s.Slots() != 2 || s.Used() != 4 {
+		t.Fatalf("counters not restored: slots=%d used=%d", s.Slots(), s.Used())
+	}
+}
+
+func TestJournalEraseSegmentRollback(t *testing.T) {
+	s, _ := New(DefaultCapacity)
+	mustWrite(t, s, 1, 0, []byte("aa"))
+	mustWrite(t, s, 2, 0, []byte("bb"))
+
+	s.Begin()
+	s.EraseSegment(1)
+	mustWrite(t, s, 1, 0, []byte("replacement"))
+	s.Rollback()
+
+	if got := s.Read(1, 0); !bytes.Equal(got, []byte("aa")) {
+		t.Fatalf("slot (1,0) = %q, want aa", got)
+	}
+	if got := s.Read(2, 0); !bytes.Equal(got, []byte("bb")) {
+		t.Fatalf("slot (2,0) = %q, want bb", got)
+	}
+	if s.Slots() != 2 {
+		t.Fatalf("slots=%d, want 2", s.Slots())
+	}
+}
+
+func TestJournalFaultCountRestored(t *testing.T) {
+	s, _ := New(DefaultCapacity)
+	boom := errors.New("bad page")
+	s.SetWriteFault(func(seg, pkt int) error { return boom })
+	_ = s.Write(1, 0, []byte("aa")) // faults = 1, pre-Begin
+
+	s.Begin()
+	_ = s.Write(1, 0, []byte("aa")) // faults = 2, speculative
+	if s.FaultCount() != 2 {
+		t.Fatalf("faults=%d, want 2", s.FaultCount())
+	}
+	s.Rollback()
+	if s.FaultCount() != 1 {
+		t.Fatalf("faults=%d after rollback, want 1", s.FaultCount())
+	}
+}
+
+func TestJournalReBeginAfterRollback(t *testing.T) {
+	s, _ := New(DefaultCapacity)
+	s.Begin()
+	mustWrite(t, s, 1, 0, []byte("aa"))
+	s.Rollback()
+
+	s.Begin()
+	mustWrite(t, s, 1, 0, []byte("bb"))
+	s.Commit()
+	if got := s.Read(1, 0); !bytes.Equal(got, []byte("bb")) {
+		t.Fatalf("slot (1,0) = %q, want bb", got)
+	}
+
+	s.Begin()
+	mustWrite(t, s, 1, 0, []byte("cc"))
+	s.Rollback()
+	if got := s.Read(1, 0); !bytes.Equal(got, []byte("bb")) {
+		t.Fatalf("slot (1,0) = %q after second rollback, want bb", got)
+	}
+}

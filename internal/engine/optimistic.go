@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"time"
+
+	"mnp/internal/checkpoint"
+	"mnp/internal/eeprom"
+	"mnp/internal/image"
+	"mnp/internal/metrics"
+	"mnp/internal/radio"
+	"mnp/internal/topology"
+)
+
+// Optimistic window execution (DESIGN.md §4l). Conservative lockstep
+// pays a full barrier every window even when no ghost frame will ever
+// cross a tile boundary. In optimistic mode each round the executors
+//
+//  1. checkpoint their tiles (copy-on-write snapshots plus the
+//     bounded journals of the EEPROM stores and metrics collectors),
+//  2. run up to Lookahead windows ahead without exchanging,
+//  3. peek every outbox to find the earliest window in which a ghost
+//     could actually reach another tile (the same Rect.Distance
+//     prefilter the exchange uses, so the check is exact-safe), and
+//  4. commit through that window — rolling the speculative suffix
+//     back and replaying the committed prefix when it is shorter than
+//     the horizon.
+//
+// Equivalence to conservative lockstep rests on one observation: at
+// every intermediate barrier inside a committed prefix, conservative
+// mode would have exchanged nothing (every ghost transmitted before
+// the commit window is, by construction of the commit horizon,
+// unreachable — its insertions would all have been skipped by the
+// bounds prefilter). Kernel event order, RNG draws, and sequence
+// assignment therefore evolve identically, and a single exchange at
+// the commit barrier drains and offers exactly the ghosts the
+// per-window exchanges would have. Observer buffers are marked at the
+// round's base and rewound on rollback, so telemetry, trace, and
+// invariant streams carry committed history only.
+
+// defaultLookahead is the speculation depth when Config.Lookahead is 0.
+const defaultLookahead = 8
+
+// ensureCheckpoint lazily builds the checkpoint configuration and
+// per-tile contexts on the first speculative round — by then the
+// harness has populated Shard.Roots (it builds the network after the
+// engine).
+func (e *Engine) ensureCheckpoint() {
+	if e.ckCfg != nil {
+		return
+	}
+	// Skip types are immutable or separately-journaled state the
+	// snapshot walker must not follow: geometry, layouts, and program
+	// images never change mid-round; collectors and stores implement
+	// Journaled; engine buffers are handled by mark/rewind.
+	e.ckCfg = checkpoint.NewConfig(
+		(*topology.Layout)(nil),
+		(*topology.Index)(nil),
+		(*radio.Geometry)(nil),
+		(*image.Image)(nil),
+		(*Buffer)(nil),
+		(*metrics.Collector)(nil),
+		(*eeprom.Store)(nil),
+	)
+	for ti, sh := range e.shards {
+		e.ckCtx[ti] = e.ckCfg.NewContext()
+		roots := make([]any, 0, 2+len(sh.Roots))
+		roots = append(roots, sh.Kernel, sh.Medium)
+		roots = append(roots, sh.Roots...)
+		e.ckRoots[ti] = roots
+	}
+}
+
+// speculate runs one optimistic round starting at the current barrier
+// and reports whether pred is satisfied at the resulting barrier. The
+// depth is clamped so the committed horizon can never cross the run
+// limit (the final clamped window stays conservative, matching the
+// sequential kernel's inclusive limit) or skip past a pending global
+// event (globals must fire at exactly the barrier conservative mode
+// would fire them at — this also keeps pred monotone within a round,
+// since only globals can un-complete a node).
+func (e *Engine) speculate(pred func() bool, limit time.Duration) bool {
+	if e.coolOff > 0 {
+		e.coolOff--
+		return e.runWindow(pred, limit)
+	}
+	w := e.lookahead
+	if rem := int((limit - e.barrier) / e.window); rem < w {
+		w = rem
+	}
+	if len(e.globals) > 0 {
+		need := int((e.globals[0].at - e.barrier + e.window - 1) / e.window)
+		if need < w {
+			w = need
+		}
+	}
+	if w < 2 {
+		return e.runWindow(pred, limit)
+	}
+	e.ensureCheckpoint()
+	base := e.barrier
+	horizon := base + time.Duration(w)*e.window
+	e.stats.SpecRounds++
+	e.stats.SpecWindows += int64(w)
+	e.runRound(execCmd{op: opSpeculate, to: horizon})
+
+	c := e.commitWindows(base, w)
+	rolled := false
+	if c < w {
+		// A reachable ghost was transmitted in window c: windows c+1..w
+		// are invalid. Restore every tile and replay the committed
+		// prefix deterministically.
+		rolled = true
+		e.stats.Rollbacks++
+		e.stats.SpecRolledBack += int64(w - c)
+		e.runRound(execCmd{op: opRollback, to: base + time.Duration(c)*e.window})
+		if e.onRollback != nil {
+			e.onRollback()
+		}
+	}
+
+	if pred() {
+		// pred may have flipped at an earlier barrier inside the round;
+		// conservative mode would have stopped there, with fewer events
+		// executed. Rewind the whole round and force the next c windows
+		// to run conservatively — the run then stops exactly where
+		// lockstep would.
+		if !rolled {
+			e.stats.Rollbacks++
+		}
+		e.stats.SpecRolledBack += int64(c)
+		e.runRound(execCmd{op: opRollback, to: base})
+		if e.onRollback != nil {
+			e.onRollback()
+		}
+		e.endRound(false)
+		e.coolOff = c
+		return false
+	}
+
+	commit := base + time.Duration(c)*e.window
+	for ti, sh := range e.shards {
+		sh.Kernel.AdvanceTo(commit) // catches up parked tiles; no-op otherwise
+		e.tileEvents[ti] += e.specN[ti]
+	}
+	e.exchange()
+	e.stats.SpecCommitted += int64(c)
+	e.barrier = commit
+	e.endRound(true)
+	for i := 0; i < c; i++ {
+		e.endWindow()
+	}
+	e.replayBuffers()
+	if c == 1 {
+		// The round committed nothing beyond what one conservative
+		// window would have: dense cross-tile traffic. Back off
+		// deterministically before speculating again.
+		e.coolOff = e.lookahead
+	}
+	return pred()
+}
+
+// commitWindows returns the number of speculated windows that can
+// commit: the earliest window, over every tile's pending outbox, in
+// which a ghost reachable by some other tile was transmitted. Ghosts
+// the bounds prefilter would drop everywhere cannot affect any tile
+// and never shorten the commit.
+func (e *Engine) commitWindows(base time.Duration, w int) int {
+	c := w
+	for i, sh := range e.shards {
+		if e.ckParked[i] {
+			continue
+		}
+		for _, g := range sh.Medium.Outbox() {
+			gw := int((g.Start-base)/e.window) + 1
+			if gw >= c {
+				continue
+			}
+			if e.ghostReachable(g, i) {
+				c = gw
+			}
+		}
+	}
+	return c
+}
+
+// ghostReachable reports whether any tile other than the source could
+// hear the ghost, using exactly the exchange's bounds prefilter — so
+// "unreachable" here means the conservative exchange would have
+// skipped every insertion.
+func (e *Engine) ghostReachable(g radio.Ghost, from int) bool {
+	for j, sh := range e.shards {
+		if j == from {
+			continue
+		}
+		if sh.Bounds != nil && g.RangeFt > 0 &&
+			sh.Bounds.Distance(g.X, g.Y) > g.RangeFt {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// specTile checkpoints tile ti and runs it speculatively to the
+// horizon, on the owning executor's goroutine.
+func (e *Engine) specTile(ti int, horizon time.Duration) {
+	sh := e.shards[ti]
+	e.ckBufLen[ti], e.ckBufSeq[ti] = e.buffers[ti].mark()
+	if at, ok := sh.Kernel.NextEventAt(); !ok || at >= horizon {
+		// Parked: no event can run this round, so there is nothing to
+		// checkpoint or roll back; the clock catches up at commit.
+		e.ckParked[ti] = true
+		e.ckSnap[ti] = nil
+		e.specN[ti] = 0
+		return
+	}
+	e.ckParked[ti] = false
+	for _, j := range sh.Journals {
+		j.Begin()
+	}
+	e.ckSnap[ti] = checkpoint.Capture(e.ckCtx[ti], e.ckRoots[ti]...)
+	n := sh.Kernel.RunBefore(horizon)
+	sh.Kernel.AdvanceTo(horizon)
+	e.specN[ti] = int64(n)
+}
+
+// rollbackTile restores tile ti to the round's base and, when the
+// commit barrier lies past the base, replays it forward. The replay is
+// deterministic and reproduces the speculation's prefix exactly: no
+// ghost was inserted at any barrier inside the round, and conservative
+// mode would have inserted none either (every pre-commit ghost is
+// unreachable by construction of the commit horizon).
+func (e *Engine) rollbackTile(ti int, to time.Duration) {
+	if e.ckParked[ti] {
+		return
+	}
+	sh := e.shards[ti]
+	e.ckSnap[ti].Restore()
+	for _, j := range sh.Journals {
+		j.Rollback()
+	}
+	e.buffers[ti].rewind(e.ckBufLen[ti], e.ckBufSeq[ti])
+	e.specN[ti] = 0
+	if to <= e.barrier {
+		return // full rewind to the round's base
+	}
+	for _, j := range sh.Journals {
+		j.Begin()
+	}
+	n := sh.Kernel.RunBefore(to)
+	sh.Kernel.AdvanceTo(to)
+	e.specN[ti] = int64(n)
+}
+
+// endRound drops the round's snapshots and settles the journals:
+// committed rounds keep their journal state, rolled-back-to-base
+// rounds already rewound it (Rollback disarms a journal, so the
+// guarded Commit below is a no-op there).
+func (e *Engine) endRound(commit bool) {
+	for ti, sh := range e.shards {
+		if e.ckSnap[ti] != nil {
+			e.ckSnap[ti] = nil
+			if commit {
+				for _, j := range sh.Journals {
+					j.Commit()
+				}
+			}
+		}
+		e.ckParked[ti] = false
+	}
+}

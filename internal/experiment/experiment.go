@@ -7,6 +7,7 @@ package experiment
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"strconv"
 	"strings"
@@ -208,6 +209,18 @@ type Setup struct {
 	Repartition          bool
 	RepartitionEvery     int
 	RepartitionThreshold float64
+	// Optimistic switches the engine to optimistic window execution:
+	// executors speculate up to Lookahead windows past each barrier,
+	// checkpoint at speculation boundaries, and roll back and replay
+	// when a late cross-tile ghost invalidates the horizon. Results
+	// stay a pure function of (Seed, tile grid) — byte-identical to
+	// conservative lockstep. Requires the engine path (Shards > 1 or a
+	// multi-tile grid); the sequential path has no windows to skip.
+	Optimistic bool
+	// Lookahead is the speculation depth in windows (default 8; 1 is
+	// conservative lockstep, so the minimum is 2). Only meaningful with
+	// Optimistic.
+	Lookahead int
 }
 
 // defaultShards is what Setups that leave Shards zero get; mnpexp's
@@ -247,6 +260,23 @@ func SetDefaultTiles(rows, cols int) {
 // SetDefaultRepartition toggles the adaptive repartitioner for Setups
 // that do not choose. Not safe to call concurrently with Build.
 func SetDefaultRepartition(on bool) { defaultRepartition = on }
+
+// Optimism defaults, reached by mnpexp's -optimistic/-lookahead flags.
+var (
+	defaultOptimistic bool
+	defaultLookahead  int
+)
+
+// SetDefaultOptimistic toggles optimistic window execution for Setups
+// that do not choose, with the given speculation depth (0 keeps the
+// engine's default). Not safe to call concurrently with Build.
+func SetDefaultOptimistic(on bool, lookahead int) {
+	defaultOptimistic = on
+	if lookahead < 0 {
+		lookahead = 0
+	}
+	defaultLookahead = lookahead
+}
 
 // ParseTileSpec parses a CLI tile-grid argument: "" (no tiling),
 // "auto" (size the grid from the deployment and worker count), or
@@ -304,6 +334,12 @@ func (s Setup) withDefaults() Setup {
 	if !s.Repartition && defaultRepartition {
 		s.Repartition = true
 	}
+	if !s.Optimistic && defaultOptimistic {
+		s.Optimistic = true
+	}
+	if s.Optimistic && s.Lookahead == 0 {
+		s.Lookahead = defaultLookahead
+	}
 	return s
 }
 
@@ -357,6 +393,18 @@ func (s Setup) Validate() error {
 	}
 	if (s.RepartitionEvery != 0 || s.RepartitionThreshold != 0) && !s.Repartition {
 		return fmt.Errorf("experiment %s: repartition tuning set but repartitioning is off", s.Name)
+	}
+	if s.Lookahead < 0 {
+		return fmt.Errorf("experiment %s: lookahead %d windows is negative", s.Name, s.Lookahead)
+	}
+	if s.Lookahead == 1 {
+		return fmt.Errorf("experiment %s: lookahead 1 is conservative lockstep; use at least 2 (or 0 for the default)", s.Name)
+	}
+	if s.Lookahead > 0 && !s.Optimistic {
+		return fmt.Errorf("experiment %s: lookahead set but optimistic execution is off", s.Name)
+	}
+	if s.Optimistic && !(s.Shards > 1 || s.TileRows*s.TileCols > 1 || s.TileAuto) {
+		return fmt.Errorf("experiment %s: optimistic execution requires the tiled engine (shards > 1 or a tile grid)", s.Name)
 	}
 	if s.ImagePackets < 0 {
 		return fmt.Errorf("experiment %s: image size %d packets is negative", s.Name, s.ImagePackets)
@@ -498,7 +546,26 @@ func (r *Result) Counters() *telemetry.Counters {
 		c.Set("engine_ghosts_offered_total", st.GhostsOffered)
 		c.Set("engine_tile_migrations_total", st.Migrations)
 		c.Set("engine_repartitions_total", st.Repartitions)
+		if r.Setup.Optimistic {
+			c.Set("engine_spec_rounds_total", st.SpecRounds)
+			c.Set("engine_windows_speculated_total", st.SpecWindows)
+			c.Set("engine_windows_committed_total", st.SpecCommitted)
+			c.Set("engine_windows_rolled_back_total", st.SpecRolledBack)
+			c.Set("engine_rollbacks_total", st.Rollbacks)
+		}
 	}
+	var hits, misses, invalidations uint64
+	if r.Engine != nil {
+		for _, sh := range r.Engine.Shards() {
+			h, m, inv, _ := sh.Medium.CacheStats()
+			hits, misses, invalidations = hits+h, misses+m, invalidations+inv
+		}
+	} else if r.Medium != nil {
+		hits, misses, invalidations, _ = r.Medium.CacheStats()
+	}
+	c.Set("radio_link_cache_hits_total", int64(hits))
+	c.Set("radio_link_cache_misses_total", int64(misses))
+	c.Set("radio_link_cache_invalidations_total", int64(invalidations))
 	return c
 }
 
@@ -843,6 +910,8 @@ func buildSharded(s Setup, img *image.Image, layout *topology.Layout) (*Result, 
 		Shards:      executors,
 		Repartition: rep,
 		OnLoad:      onLoad,
+		Optimistic:  s.Optimistic,
+		Lookahead:   s.Lookahead,
 	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
@@ -919,7 +988,7 @@ func buildSharded(s Setup, img *image.Image, layout *topology.Layout) (*Result, 
 			clocks[i] = sh.Kernel.Now
 			mediums[i] = sh.Medium
 		}
-		err := s.Faults.ApplySharded(faults.ShardedEnv{
+		env := faults.ShardedEnv{
 			At:      eng.At,
 			Network: nw,
 			Mediums: mediums,
@@ -927,10 +996,35 @@ func buildSharded(s Setup, img *image.Image, layout *topology.Layout) (*Result, 
 			ShardOf: func(id packet.NodeID) int { return shardOf[id] },
 			Seed:    s.Seed,
 			Base:    s.BaseID,
-		})
-		if err != nil {
+		}
+		if s.Optimistic {
+			// Per-node fault RNGs live in event closures the checkpoint
+			// walker cannot reach from any root; register each with its
+			// owning tile so speculative draws rewind with the tile.
+			env.OnRNG = func(id packet.NodeID, rng *rand.Rand) {
+				sh := shards[shardOf[id]]
+				sh.Roots = append(sh.Roots, rng)
+			}
+		}
+		if err := s.Faults.ApplySharded(env); err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
 		}
+	}
+	if s.Optimistic {
+		// Checkpoint roots and journals per tile: the snapshot walker
+		// covers the kernel, the medium, and every owned node (battery,
+		// timers, protocol state, RNG cursor); the EEPROM stores and the
+		// tile collector carry their own bounded journals. Completion
+		// progress tracked outside the tiles is rewound on rollback.
+		for i, sh := range shards {
+			sh.Journals = append(sh.Journals, collectors[i])
+		}
+		for _, n := range nw.Nodes {
+			sh := shards[shardOf[n.ID()]]
+			sh.Roots = append(sh.Roots, n)
+			sh.Journals = append(sh.Journals, n.EEPROM())
+		}
+		eng.SetOnRollback(nw.RewindCompletion)
 	}
 	if s.Mobility != nil {
 		model, merr := s.Mobility(layout, s.Seed)

@@ -115,6 +115,24 @@ func TestMobilityEquivalenceMatrix(t *testing.T) {
 				}
 			}
 		}
+		// Optimistic cell: speculation clamps to the next global event,
+		// so the 2-second mobility cadence exercises the depth clamp hard;
+		// the digest must still match lockstep exactly.
+		if g.Tiles() > 1 {
+			s := Setup{
+				Name: fmt.Sprintf("mobile-matrix-%s-opt", g),
+				Rows: 6, Cols: 6, ImagePackets: 32, Seed: 42,
+				Protocol: ProtocolGossip, Limit: 3 * time.Hour,
+				Mobility: waypoint(1, 3, 5*time.Second), MobilityEvery: 2 * time.Second,
+				TileRows: g.Rows, TileCols: g.Cols,
+				Shards: 4, Workers: 2,
+				Optimistic: true,
+			}
+			if dig, _ := tiledDigest(t, s); dig != want {
+				t.Fatalf("grid %s: optimistic mobile digest %s, want %s — speculation broke (seed, grid) purity",
+					g, dig, want)
+			}
+		}
 	}
 }
 

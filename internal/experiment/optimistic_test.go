@@ -1,0 +1,216 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mnp/internal/faults"
+	"mnp/internal/invariant"
+)
+
+// TestOptimisticValidate covers the optimism knobs: the speculation
+// depth must be non-negative and at least 2 (1 is conservative
+// lockstep), it requires optimistic mode, and optimistic mode requires
+// the tiled engine (the sequential path has no windows to skip).
+func TestOptimisticValidate(t *testing.T) {
+	valid := Setup{Name: "v", Rows: 4, Cols: 4, Spacing: 10, Shards: 2, TileRows: 2, TileCols: 2}
+	cases := []struct {
+		name    string
+		mutate  func(*Setup)
+		wantErr string
+	}{
+		{"optimistic-ok", func(s *Setup) { s.Optimistic = true }, ""},
+		{"lookahead-ok", func(s *Setup) { s.Optimistic = true; s.Lookahead = 4 }, ""},
+		{"negative-lookahead", func(s *Setup) { s.Optimistic = true; s.Lookahead = -3 }, "negative"},
+		{"lookahead-one", func(s *Setup) { s.Optimistic = true; s.Lookahead = 1 }, "conservative lockstep"},
+		{"lookahead-without-optimistic", func(s *Setup) { s.Lookahead = 4 }, "optimistic execution is off"},
+		{"optimistic-sequential", func(s *Setup) {
+			s.Optimistic = true
+			s.Shards, s.TileRows, s.TileCols = 1, 0, 0
+		}, "requires the tiled engine"},
+		{"optimistic-auto-grid", func(s *Setup) {
+			s.Optimistic = true
+			s.Shards, s.TileRows, s.TileCols = 1, 0, 0
+			s.TileAuto = true
+		}, ""},
+		{"optimistic-strips", func(s *Setup) {
+			s.Optimistic = true
+			s.TileRows, s.TileCols = 0, 0
+		}, ""},
+		{"optimistic-with-repartition", func(s *Setup) {
+			s.Optimistic = true
+			s.Repartition = true
+			s.RepartitionEvery, s.RepartitionThreshold = 8, 1.5
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid
+			tc.mutate(&s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestOptimisticEquivalence is the headline property of optimistic
+// execution: for a fixed (seed, tile grid) the digest is byte-identical
+// with speculation on and off, across lookahead depths and worker
+// counts — and the speculation must actually engage (rounds > 0) and
+// roll back somewhere in the matrix, or the equivalence is vacuous.
+func TestOptimisticEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation matrix in -short mode")
+	}
+	var totalRollbacks, totalCommitted int64
+	for _, grid := range []struct{ rows, cols int }{{2, 2}, {4, 4}} {
+		for _, seed := range []int64{42, 7} {
+			base := Setup{
+				Name: fmt.Sprintf("opt-base-%dx%d-s%d", grid.rows, grid.cols, seed),
+				Rows: 6, Cols: 6, ImagePackets: 32, Seed: seed,
+				Limit:    3 * time.Hour,
+				TileRows: grid.rows, TileCols: grid.cols,
+				Shards: 4, Workers: 1,
+			}
+			want, _ := tiledDigest(t, base)
+			for _, la := range []int{2, 8} {
+				for _, workers := range []int{1, 4} {
+					s := base
+					s.Name = fmt.Sprintf("opt-%dx%d-s%d-la%d-w%d", grid.rows, grid.cols, seed, la, workers)
+					s.Optimistic = true
+					s.Lookahead = la
+					s.Workers = workers
+					dig, res := tiledDigest(t, s)
+					if dig != want {
+						t.Fatalf("grid %dx%d seed %d lookahead %d workers %d: digest %s, want %s — speculation leaked into results",
+							grid.rows, grid.cols, seed, la, workers, dig, want)
+					}
+					st := res.Engine.Stats()
+					if st.SpecRounds == 0 {
+						t.Fatalf("grid %dx%d seed %d lookahead %d: optimistic run never speculated", grid.rows, grid.cols, seed, la)
+					}
+					if st.SpecCommitted+st.SpecRolledBack != st.SpecWindows {
+						t.Fatalf("speculation ledger out of balance: %d committed + %d rolled back != %d speculated",
+							st.SpecCommitted, st.SpecRolledBack, st.SpecWindows)
+					}
+					totalRollbacks += st.Rollbacks
+					totalCommitted += st.SpecCommitted
+				}
+			}
+		}
+	}
+	if totalRollbacks == 0 {
+		t.Fatal("no cell of the matrix rolled back a single window; the ghost check never fired")
+	}
+	if totalCommitted == 0 {
+		t.Fatal("no cell of the matrix committed a speculated window")
+	}
+	t.Logf("matrix clean; %d windows committed speculatively, %d rollbacks", totalCommitted, totalRollbacks)
+}
+
+// TestOptimisticChaosEquivalence drives speculation through the chaos
+// stack — node deaths, reboots, a partition window, flaky EEPROM — with
+// the invariant checker attached. Fault RNG draws, journaled EEPROM
+// mutations, and restart bookkeeping must all rewind exactly.
+func TestOptimisticChaosEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation in -short mode")
+	}
+	mk := func(optimistic bool) Setup {
+		name := "opt-chaos-off"
+		if optimistic {
+			name = "opt-chaos-on"
+		}
+		return Setup{
+			Name: name,
+			Rows: 6, Cols: 6, ImagePackets: 32, Seed: 42,
+			Limit:    4 * time.Hour,
+			TileRows: 2, TileCols: 2,
+			Shards: 4, Workers: 2,
+			Faults: &faults.Plan{Events: []faults.Event{
+				faults.Crash(29, 20*time.Minute),
+				faults.CrashReboot(7, 10*time.Minute, 8*time.Minute),
+				faults.EEPROMErrors(11, 0.2, 5*time.Minute, 45*time.Minute),
+			}},
+			Invariants: &invariant.Config{},
+			Optimistic: optimistic,
+		}
+	}
+	want, _ := tiledDigest(t, mk(false))
+	got, res := tiledDigest(t, mk(true))
+	if got != want {
+		t.Fatalf("chaos digest with speculation %s, want %s", got, want)
+	}
+	if st := res.Engine.Stats(); st.SpecRounds == 0 {
+		t.Fatal("chaos run never speculated")
+	}
+}
+
+// TestOptimisticCounters checks the speculation and link-cache counters
+// surface through the run's telemetry registry (satellite of the
+// optimistic-engine PR: expvar/Prometheus export rides Counters).
+func TestOptimisticCounters(t *testing.T) {
+	s := Setup{
+		Name: "opt-counters",
+		Rows: 4, Cols: 4, ImagePackets: 8, Seed: 5,
+		Limit:    2 * time.Hour,
+		TileRows: 2, TileCols: 2,
+		Shards: 2, Workers: 1,
+		Optimistic: true, Lookahead: 4,
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters()
+	st := res.Engine.Stats()
+	for name, want := range map[string]int64{
+		"engine_spec_rounds_total":         st.SpecRounds,
+		"engine_windows_speculated_total":  st.SpecWindows,
+		"engine_windows_committed_total":   st.SpecCommitted,
+		"engine_windows_rolled_back_total": st.SpecRolledBack,
+		"engine_rollbacks_total":           st.Rollbacks,
+	} {
+		if got := c.Get(name); got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if st.SpecRounds == 0 {
+		t.Error("run never speculated")
+	}
+	hits := c.Get("radio_link_cache_hits_total")
+	misses := c.Get("radio_link_cache_misses_total")
+	if hits+misses == 0 {
+		t.Error("link-cache counters absent: no lookups recorded across shard mediums")
+	}
+	if _, ok := c.Snapshot()["radio_link_cache_invalidations_total"]; !ok {
+		t.Error("invalidation counter missing")
+	}
+}
+
+// TestOptimisticDefaults checks the package-default plumbing mnpexp's
+// flags use.
+func TestOptimisticDefaults(t *testing.T) {
+	defer SetDefaultOptimistic(false, 0)
+	SetDefaultOptimistic(true, 4)
+	s := Setup{Name: "d", Rows: 4, Cols: 4, ImagePackets: 8, Seed: 1, TileRows: 2, TileCols: 2, Shards: 2}
+	s = s.withDefaults()
+	if !s.Optimistic || s.Lookahead != 4 {
+		t.Fatalf("withDefaults: optimistic=%v lookahead=%d, want true/4", s.Optimistic, s.Lookahead)
+	}
+	SetDefaultOptimistic(false, 0)
+	s2 := Setup{Name: "d2", Rows: 4, Cols: 4, ImagePackets: 8, Seed: 1}.withDefaults()
+	if s2.Optimistic || s2.Lookahead != 0 {
+		t.Fatalf("withDefaults after reset: optimistic=%v lookahead=%d, want false/0", s2.Optimistic, s2.Lookahead)
+	}
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"mnp/internal/packet"
+)
+
+// journal is the collector's bounded undo log for optimistic execution.
+// Deep-copying a Collector per speculation round would be O(run
+// history) — the radio intervals, sender log, and traffic windows all
+// grow with simulated time — so instead the collector journals
+// first-touch copies of what a round actually dirties: the few node
+// rows that saw traffic, the traffic-window rows bumped in place, and
+// length watermarks for the append-only logs.
+//
+// The per-node copy is a plain value copy of nodeStats, which is sound
+// because of how the mutators use its reference fields: radio is
+// append-only (the saved shorter header hides appends, and re-appends
+// overwrite any stale backing), and segTimes is insert-only (the saved
+// copy shares the map, so inserts are undone individually via segAdds).
+type journal struct {
+	active bool
+
+	marked []bool // per-node dirty flag, sized len(c.nodes)
+	dirty  []packet.NodeID
+	saved  []nodeStats // parallel to dirty: value at first touch
+
+	segAdds []segAdd // segTimes keys inserted this epoch
+
+	windowsLen int
+	winSaves   []winSave // pre-existing window rows bumped in place
+
+	sendersLen int
+
+	activeData []senderWindow // deep copy: the live slice is compacted in place
+	violations int
+}
+
+type segAdd struct {
+	id  packet.NodeID
+	seg int
+}
+
+type winSave struct {
+	idx int
+	row [numClasses]int
+}
+
+// Begin arms the undo journal; a later Rollback rewinds the collector
+// to this point. Unjournaled collectors pay one nil check per
+// observation.
+func (c *Collector) Begin() {
+	if c.journal == nil {
+		c.journal = &journal{marked: make([]bool, len(c.nodes))}
+	}
+	j := c.journal
+	j.active = true
+	j.dirty = j.dirty[:0]
+	j.saved = j.saved[:0]
+	j.segAdds = j.segAdds[:0]
+	j.winSaves = j.winSaves[:0]
+	j.windowsLen = len(c.windows)
+	j.sendersLen = len(c.senders)
+	j.activeData = append(j.activeData[:0], c.activeData...)
+	j.violations = c.violations
+}
+
+// Commit discards the undo log, keeping observations since Begin.
+func (c *Collector) Commit() {
+	j := c.journal
+	if j == nil || !j.active {
+		return
+	}
+	c.clearJournal(j)
+}
+
+// Rollback rewinds the collector to the last Begin.
+func (c *Collector) Rollback() {
+	j := c.journal
+	if j == nil || !j.active {
+		return
+	}
+	for i, id := range j.dirty {
+		c.nodes[id] = j.saved[i]
+	}
+	// The saved rows share segTimes maps with the live rows, so inserted
+	// keys survive the row copy and are removed individually.
+	for _, a := range j.segAdds {
+		delete(c.nodes[a.id].segTimes, a.seg)
+	}
+	c.windows = c.windows[:j.windowsLen]
+	for _, w := range j.winSaves {
+		c.windows[w.idx] = w.row
+	}
+	c.senders = c.senders[:j.sendersLen]
+	c.activeData = append(c.activeData[:0], j.activeData...)
+	c.violations = j.violations
+	c.clearJournal(j)
+}
+
+func (c *Collector) clearJournal(j *journal) {
+	for _, id := range j.dirty {
+		j.marked[id] = false
+	}
+	j.dirty = j.dirty[:0]
+	j.saved = j.saved[:0]
+	j.segAdds = j.segAdds[:0]
+	j.winSaves = j.winSaves[:0]
+	j.active = false
+}
+
+// touch saves node id's row once per epoch, before its first mutation.
+func (j *journal) touch(c *Collector, id packet.NodeID) {
+	if j.marked[id] {
+		return
+	}
+	j.marked[id] = true
+	j.dirty = append(j.dirty, id)
+	j.saved = append(j.saved, c.nodes[id])
+}
+
+// touchWindow saves a pre-existing traffic-window row before an
+// in-place bump; rows appended after Begin are handled by the length
+// watermark. Simulated time is monotone within an epoch, so at most a
+// couple of rows ever land here — the linear dedup scan is fine.
+func (j *journal) touchWindow(c *Collector, minute int) {
+	if minute >= j.windowsLen {
+		return
+	}
+	for i := range j.winSaves {
+		if j.winSaves[i].idx == minute {
+			return
+		}
+	}
+	j.winSaves = append(j.winSaves, winSave{idx: minute, row: c.windows[minute]})
+}
+
+// noteSegAdd records an insert into a node's segTimes map so Rollback
+// can delete it; the caller only inserts when the key is absent.
+func (j *journal) noteSegAdd(id packet.NodeID, seg int) {
+	j.segAdds = append(j.segAdds, segAdd{id: id, seg: seg})
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"mnp/internal/node"
+	"mnp/internal/packet"
+)
+
+// replay drives a fixed observation sequence against c at the times the
+// clock pointer dictates.
+func replay(c *Collector, now *time.Duration) {
+	*now = 30 * time.Second
+	c.FrameSent(0, packet.KindAdvertise, 16)
+	c.FrameReceived(1, 0, packet.KindAdvertise, 16)
+	c.RadioState(1, *now, true)
+	*now = 70 * time.Second // crosses into minute 1
+	c.FrameSent(1, packet.KindData, 34)
+	c.FrameSent(2, packet.KindData, 34) // concurrent data sender → violation
+	c.FrameCollided(3, 1, packet.KindData)
+	c.NodeEvent(1, *now, node.Event{Kind: node.EventBecameSender, Seg: 1})
+	c.NodeEvent(1, *now, node.Event{Kind: node.EventGotSegment, Seg: 1})
+	c.NodeEvent(1, *now, node.Event{Kind: node.EventGotCode})
+	c.StorageOp(1, true, 1, 0, 23)
+}
+
+// digest captures everything the reports read, so rollback equivalence
+// can be asserted structurally.
+type mDigest struct {
+	tx, rx, coll, viol, senders int
+	windows0, windows1          int
+	radioOn                     time.Duration
+	completed                   bool
+	seg1                        time.Duration
+	seg1ok                      bool
+	writeBytes                  int
+}
+
+func digestOf(c *Collector) mDigest {
+	d := mDigest{
+		tx:      c.TxCount(0) + c.TxCount(1) + c.TxCount(2),
+		rx:      c.RxCount(1),
+		coll:    c.Collisions(3),
+		viol:    c.ConcurrencyViolations(),
+		senders: len(c.SenderEvents()),
+		radioOn: c.ActiveRadioTime(1, 0, 2*time.Minute),
+	}
+	w := c.WindowCounts(packet.ClassData)
+	if len(w) > 0 {
+		d.windows0 = w[0]
+	}
+	if len(w) > 1 {
+		d.windows1 = w[1]
+	}
+	_, d.completed = c.GotCodeAt(1)
+	d.seg1, d.seg1ok = c.SegmentTime(1, 1)
+	snap := c.Snapshot(2 * time.Minute)
+	d.writeBytes = snap.EEPROMWriteBytes
+	return d
+}
+
+func TestJournalRollbackRestoresEverything(t *testing.T) {
+	c, now := newCollector(t)
+
+	// Committed prefix: one full replay.
+	replay(c, now)
+	before := digestOf(c)
+
+	// Speculative suffix, rolled back.
+	c.Begin()
+	*now = 90 * time.Second
+	replay(c, now)
+	c.Rollback()
+
+	if got := digestOf(c); got != before {
+		t.Fatalf("rollback digest mismatch:\n got %+v\nwant %+v", got, before)
+	}
+
+	// Replaying the same suffix after rollback must land where a
+	// commit of the same observations would.
+	c.Begin()
+	*now = 90 * time.Second
+	replay(c, now)
+	c.Commit()
+	after := digestOf(c)
+
+	c2, now2 := newCollector(t)
+	replay(c2, now2)
+	*now2 = 90 * time.Second
+	replay(c2, now2)
+	if want := digestOf(c2); after != want {
+		t.Fatalf("replay-after-rollback mismatch:\n got %+v\nwant %+v", after, want)
+	}
+}
+
+func TestJournalSegTimesInsertUndone(t *testing.T) {
+	c, now := newCollector(t)
+	*now = time.Second
+	c.Begin()
+	c.NodeEvent(2, *now, node.Event{Kind: node.EventGotSegment, Seg: 5})
+	if _, ok := c.SegmentTime(2, 5); !ok {
+		t.Fatal("insert not visible during speculation")
+	}
+	c.Rollback()
+	if _, ok := c.SegmentTime(2, 5); ok {
+		t.Fatal("segTimes insert survived rollback")
+	}
+}
+
+func TestJournalWindowRowRestored(t *testing.T) {
+	c, now := newCollector(t)
+	*now = 10 * time.Second
+	c.FrameSent(0, packet.KindData, 34) // minute 0 exists pre-Begin
+
+	c.Begin()
+	c.FrameSent(0, packet.KindData, 34) // bumps pre-existing row
+	*now = 70 * time.Second
+	c.FrameSent(0, packet.KindData, 34) // appends minute-1 row
+	c.Rollback()
+
+	w := c.WindowCounts(packet.ClassData)
+	if len(w) != 1 || w[0] != 1 {
+		t.Fatalf("windows not restored: %v", w)
+	}
+}
+
+func TestJournalCommitKeepsObservations(t *testing.T) {
+	c, now := newCollector(t)
+	c.Begin()
+	*now = time.Second
+	c.FrameSent(0, packet.KindData, 34)
+	c.Commit()
+	if c.TxCount(0) != 1 {
+		t.Fatal("committed observation lost")
+	}
+	c.Rollback() // no Begin: must be a no-op
+	if c.TxCount(0) != 1 {
+		t.Fatal("rollback without Begin rewound committed state")
+	}
+}

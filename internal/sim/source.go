@@ -1,0 +1,39 @@
+package sim
+
+import "math/rand"
+
+// CountingSource wraps a rand.Source64 and counts draws. Every call is
+// forwarded unchanged, so a rand.Rand over the wrapper produces exactly
+// the sequence the bare source would — golden hashes are unaffected —
+// while the draw count gives checkpointing a free version stamp
+// (checkpoint.Versioned): a source whose count is unchanged since the
+// last snapshot cannot have advanced, so its ~5KB of internal state
+// need not be copied again. This is what makes per-round checkpoints of
+// hundreds of mostly-idle per-node RNGs O(dirty state).
+type CountingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCountingSource wraps src, which must implement rand.Source64 (the
+// sources rand.NewSource returns all do).
+func NewCountingSource(src rand.Source) *CountingSource {
+	s64, ok := src.(rand.Source64)
+	if !ok {
+		panic("sim: CountingSource requires a rand.Source64")
+	}
+	return &CountingSource{src: s64}
+}
+
+// Int63 implements rand.Source.
+func (c *CountingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+// Uint64 implements rand.Source64.
+func (c *CountingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+// Seed implements rand.Source.
+func (c *CountingSource) Seed(seed int64) { c.n++; c.src.Seed(seed) }
+
+// StateVersion implements checkpoint.Versioned: it advances on every
+// draw, so equal versions imply identical internal state.
+func (c *CountingSource) StateVersion() uint64 { return c.n }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -150,5 +151,96 @@ func TestNewSizedSchedulingMatchesNew(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("execution order diverges at %d: %d vs %d (capacity changed scheduling)", i, a[i], b[i])
 		}
+	}
+}
+
+// --- optimistic-engine edge cases (PR 10) ---
+// The speculate-and-rollback engine leans harder on these primitives:
+// parked tiles are classified by NextEventAt after their pools drain,
+// and speculation horizons land exactly on event timestamps.
+
+func TestNextEventAtOnDrainedPool(t *testing.T) {
+	k := New(1)
+	for i := 1; i <= 4; i++ {
+		k.MustSchedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	k.RunBefore(time.Second) // drain everything into the free list
+	if at, ok := k.NextEventAt(); ok {
+		t.Fatalf("drained pool reports a pending event at %v", at)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("%d events pending after drain", k.Pending())
+	}
+	// The drained pool must still accept and report new work (recycled
+	// free-list entries must not leak stale timestamps).
+	k.MustSchedule(2*time.Millisecond, func() {})
+	if at, ok := k.NextEventAt(); !ok || at != k.Now()+2*time.Millisecond {
+		t.Fatalf("after refill: at=%v ok=%v, want %v", at, ok, k.Now()+2*time.Millisecond)
+	}
+}
+
+func TestRunBeforeSimultaneousEventsAtLimit(t *testing.T) {
+	k := New(1)
+	var ran []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.MustSchedule(10*time.Millisecond, func() { ran = append(ran, i) })
+	}
+	// All three sit exactly on the window boundary: strictly-before
+	// semantics must run none of them.
+	if n := k.RunBefore(10 * time.Millisecond); n != 0 {
+		t.Fatalf("RunBefore ran %d boundary events, want 0", n)
+	}
+	if len(ran) != 0 {
+		t.Fatalf("boundary events fired early: %v", ran)
+	}
+	// AdvanceTo exactly onto the simultaneous events is legal (nothing
+	// is skipped)...
+	k.AdvanceTo(10 * time.Millisecond)
+	if k.Now() != 10*time.Millisecond {
+		t.Fatalf("clock at %v, want 10ms", k.Now())
+	}
+	// ...and the next window runs all three in scheduling (FIFO) order.
+	if n := k.RunBefore(10*time.Millisecond + 1); n != 3 {
+		t.Fatalf("next window ran %d events, want 3", n)
+	}
+	for i, got := range ran {
+		if got != i {
+			t.Fatalf("simultaneous events ran out of order: %v", ran)
+		}
+	}
+}
+
+func TestCountingSourceForwardsExactly(t *testing.T) {
+	bare := rand.New(rand.NewSource(42))
+	wrapped := rand.New(NewCountingSource(rand.NewSource(42)))
+	for i := 0; i < 200; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := bare.Int63(), wrapped.Int63(); a != b {
+				t.Fatalf("Int63 diverged at %d: %d vs %d", i, a, b)
+			}
+		case 1:
+			if a, b := bare.Uint64(), wrapped.Uint64(); a != b {
+				t.Fatalf("Uint64 diverged at %d: %d vs %d", i, a, b)
+			}
+		case 2:
+			if a, b := bare.Intn(97), wrapped.Intn(97); a != b {
+				t.Fatalf("Intn diverged at %d: %d vs %d", i, a, b)
+			}
+		case 3:
+			if a, b := bare.Float64(), wrapped.Float64(); a != b {
+				t.Fatalf("Float64 diverged at %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+	cs := NewCountingSource(rand.NewSource(1))
+	if cs.StateVersion() != 0 {
+		t.Fatalf("fresh source at version %d", cs.StateVersion())
+	}
+	cs.Int63()
+	cs.Uint64()
+	if cs.StateVersion() != 2 {
+		t.Fatalf("2 draws left version at %d", cs.StateVersion())
 	}
 }
